@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness (experiments E1-E8 of DESIGN.md)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import figure1_quorum_system
+from repro.quorums import GeneralizedQuorumSystem
+
+
+@pytest.fixture(scope="session")
+def figure1_gqs() -> GeneralizedQuorumSystem:
+    """The paper's running example, shared by the benchmarks."""
+    return figure1_quorum_system()
+
+
+def bench_once(benchmark, func, *args, **kwargs):
+    """Run a (possibly slow) experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

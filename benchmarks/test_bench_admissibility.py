@@ -1,0 +1,94 @@
+"""E6 — admissibility of the three quorum conditions under random fail-prone systems.
+
+The Monte Carlo sweep classifies random fail-prone systems by whether they
+admit a classical quorum system, a strongly connected quorum system (QS+) and a
+generalized quorum system, as the channel-disconnection probability grows.
+Expected shape: GQS ≥ QS+ ≥ classical everywhere, with the gap opening as
+channel failures become likely — the quantitative version of the paper's
+"strictly weaker condition" message.  A companion series measures availability
+of the *fixed* Figure 1 quorums under i.i.d. failures.
+"""
+
+from __future__ import annotations
+
+from repro.montecarlo import (
+    admissibility_sweep,
+    admissibility_table,
+    reliability_sweep,
+    reliability_table,
+)
+
+from conftest import bench_once
+
+DISCONNECT_PROBS = (0.0, 0.1, 0.2, 0.3, 0.5)
+
+
+def test_e6_admissibility_sweep(benchmark):
+    points = bench_once(
+        benchmark,
+        admissibility_sweep,
+        DISCONNECT_PROBS,
+        5,      # n
+        3,      # patterns per system
+        0.2,    # crash probability
+        40,     # samples per point
+        None,   # max_crashes
+        0,      # seed
+    )
+    print()
+    print(admissibility_table(points))
+    for point in points:
+        assert point.classical_fraction <= point.strong_fraction + 1e-9
+        assert point.strong_fraction <= point.generalized_fraction + 1e-9
+    # The gap between GQS and the classical condition opens once channels fail.
+    assert points[-1].generalized_fraction > points[-1].classical_fraction
+
+
+def test_e6_reliability_of_figure1_quorums(benchmark, figure1_gqs):
+    estimates = bench_once(
+        benchmark,
+        reliability_sweep,
+        figure1_gqs,
+        (0.0, 0.1, 0.2, 0.3, 0.5),
+        0.1,    # crash probability
+        150,    # samples
+        1,      # seed
+    )
+    print()
+    print(reliability_table(estimates))
+    for estimate in estimates:
+        assert estimate.strong_availability <= estimate.gqs_availability + 1e-9
+        assert estimate.gqs_availability <= estimate.classical_availability + 1e-9
+    # With substantial channel failures the GQS availability notion keeps the
+    # system usable strictly more often than the strongly connected one.
+    assert estimates[-1].gqs_availability >= estimates[-1].strong_availability
+
+
+def test_e6_strict_separation_witnesses(benchmark):
+    """The GQS condition is *strictly* weaker than QS+: count separating systems.
+
+    Figure 1 is the canonical witness; the Monte Carlo search finds further
+    witnesses among randomly sampled asymmetric-partition fail-prone systems
+    (uniformly random channel failures almost never separate the two
+    conditions, so the structured distribution is the right place to look).
+    """
+    from repro.analysis import figure1_fail_prone_system
+    from repro.montecarlo import gqs_strictly_weaker_examples
+    from repro.quorums import gqs_exists, strong_system_exists
+
+    def experiment():
+        found = {}
+        for n in (5, 6):
+            witnesses = gqs_strictly_weaker_examples(n=n, num_patterns=3, samples=120, seed=2)
+            found[n] = len(witnesses)
+        return found
+
+    found = bench_once(benchmark, experiment)
+    figure1 = figure1_fail_prone_system()
+    print()
+    print("E6: systems admitting a GQS but no QS+ (120 asymmetric-partition samples per n)")
+    for n, count in found.items():
+        print("  n={}: {} witnesses".format(n, count))
+    print("  Figure 1 separates the conditions:", gqs_exists(figure1) and not strong_system_exists(figure1))
+    assert gqs_exists(figure1) and not strong_system_exists(figure1)
+    assert sum(found.values()) >= 1

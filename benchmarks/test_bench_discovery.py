@@ -1,0 +1,104 @@
+"""E7 — scalability of the GQS decision procedure.
+
+Measures the runtime of :func:`repro.quorums.discover_gqs` as the number of
+processes and the number of failure patterns grow, on threshold systems (many
+patterns, crash-only) and on random systems with channel failures.  The
+decision procedure is the tool a practitioner would run to check whether a
+deployment's failure assumptions are tolerable at all, so its cost matters.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import ResultTable
+from repro.failures import FailProneSystem, random_fail_prone_system
+from repro.quorums import discover_gqs
+
+from conftest import bench_once
+
+
+def test_e7_discovery_on_threshold_systems(benchmark):
+    def experiment():
+        rows = []
+        for n in (4, 6, 8, 10):
+            k = (n - 1) // 2
+            system = FailProneSystem.crash_threshold(["p{}".format(i) for i in range(n)], k)
+            started = time.perf_counter()
+            result = discover_gqs(system)
+            elapsed = time.perf_counter() - started
+            rows.append(
+                {
+                    "n": n,
+                    "k": k,
+                    "|F|": len(system),
+                    "GQS exists": result.exists,
+                    "nodes explored": result.nodes_explored,
+                    "seconds": elapsed,
+                }
+            )
+        return rows
+
+    rows = bench_once(benchmark, experiment)
+    table = ResultTable(
+        title="E7: GQS discovery on crash-threshold systems",
+        columns=["n", "k", "|F|", "GQS exists", "nodes explored", "seconds"],
+    )
+    for row in rows:
+        table.add_row(**row)
+    print()
+    print(table)
+    assert all(row["GQS exists"] for row in rows)
+
+
+def test_e7_discovery_on_random_systems(benchmark):
+    def experiment():
+        rows = []
+        for n, num_patterns in ((4, 4), (6, 6), (8, 8), (10, 10)):
+            admitted = 0
+            nodes = 0
+            started = time.perf_counter()
+            samples = 10
+            for seed in range(samples):
+                system = random_fail_prone_system(
+                    n=n,
+                    num_patterns=num_patterns,
+                    crash_prob=0.15,
+                    disconnect_prob=0.25,
+                    seed=seed,
+                )
+                result = discover_gqs(system, validate=False)
+                admitted += int(result.exists)
+                nodes += result.nodes_explored
+            elapsed = time.perf_counter() - started
+            rows.append(
+                {
+                    "n": n,
+                    "|F|": num_patterns,
+                    "samples": samples,
+                    "admitting GQS": admitted,
+                    "avg nodes": nodes / samples,
+                    "seconds (total)": elapsed,
+                }
+            )
+        return rows
+
+    rows = bench_once(benchmark, experiment)
+    table = ResultTable(
+        title="E7: GQS discovery on random fail-prone systems (p_disconnect=0.25)",
+        columns=["n", "|F|", "samples", "admitting GQS", "avg nodes", "seconds (total)"],
+    )
+    for row in rows:
+        table.add_row(**row)
+    print()
+    print(table)
+    assert all(row["seconds (total)"] < 60.0 for row in rows)
+
+
+def test_e7_single_discovery_microbenchmark(benchmark):
+    """Microbenchmark (many rounds): discovery on the Figure 1 system."""
+    from repro.analysis import figure1_fail_prone_system
+
+    system = figure1_fail_prone_system()
+    result = benchmark(discover_gqs, system)
+    assert result.exists

@@ -1,0 +1,69 @@
+"""E1 — the Figure 1 running example (Examples 2, 7, 8, 9).
+
+Regenerates the paper's worked-example results: the Figure 1 triple is a valid
+generalized quorum system with the termination components of Example 9, the
+decision procedure rediscovers a GQS for ``F``, and the modified system ``F'``
+admits none.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    ResultTable,
+    figure1_fail_prone_system,
+    figure1_modified_fail_prone_system,
+    figure1_quorum_system,
+    run_all_examples,
+)
+from repro.quorums import discover_gqs
+from repro.types import sorted_processes
+
+from conftest import bench_once
+
+
+def test_e1_figure1_validation(benchmark):
+    """Validate the (F, R, W) of Figure 1 and compute every U_f."""
+
+    def experiment():
+        gqs = figure1_quorum_system()
+        gqs.check()
+        return {
+            pattern.name: sorted_processes(gqs.termination_component(pattern))
+            for pattern in gqs.fail_prone
+        }
+
+    components = bench_once(benchmark, experiment)
+    table = ResultTable(title="E1: termination components U_f (Example 9)", columns=["pattern", "U_f"])
+    for name, component in components.items():
+        table.add_row(pattern=name, U_f=",".join(str(p) for p in component))
+    print()
+    print(table)
+    assert components == {
+        "f1": ["a", "b"],
+        "f2": ["b", "c"],
+        "f3": ["c", "d"],
+        "f4": ["a", "d"],
+    }
+
+
+def test_e1_discovery_on_figure1(benchmark):
+    """The decision procedure finds a GQS for F."""
+    result = bench_once(benchmark, discover_gqs, figure1_fail_prone_system())
+    assert result.exists and result.quorum_system.is_valid()
+
+
+def test_e1_modified_system_has_no_gqs(benchmark):
+    """Example 9: F' (channel (a, b) also fails) admits no GQS."""
+    result = bench_once(benchmark, discover_gqs, figure1_modified_fail_prone_system())
+    assert not result.exists
+
+
+def test_e1_all_worked_examples(benchmark):
+    """Replay every worked example of the paper."""
+    outcomes = bench_once(benchmark, run_all_examples)
+    table = ResultTable(title="E1: worked examples", columns=["example", "claim holds"])
+    for outcome in outcomes:
+        table.add_row(**{"example": outcome.example, "claim holds": outcome.holds})
+    print()
+    print(table)
+    assert all(outcome.holds for outcome in outcomes)

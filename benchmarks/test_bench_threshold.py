@@ -1,0 +1,58 @@
+"""E2 — threshold constructions (Examples 4 and 6) and Definition 1 ⊂ Definition 2.
+
+Regenerates the table of threshold quorum systems for n ≤ 9 and k ≤ ⌊(n−1)/2⌋,
+checking that each satisfies Definition 1 and that lifting it to a generalized
+quorum system (Definition 2) succeeds unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ResultTable
+from repro.quorums import GeneralizedQuorumSystem, threshold_quorum_system
+
+from conftest import bench_once
+
+
+def build_and_validate(max_n: int = 9):
+    rows = []
+    for n in range(3, max_n + 1):
+        for k in range(0, (n - 1) // 2 + 1):
+            processes = ["p{}".format(i) for i in range(n)]
+            classical = threshold_quorum_system(processes, k)
+            lifted = GeneralizedQuorumSystem.from_classical(classical)
+            rows.append(
+                {
+                    "n": n,
+                    "k": k,
+                    "read quorum size": n - k,
+                    "write quorum size": k + 1,
+                    "|R|": len(classical.read_quorums),
+                    "|W|": len(classical.write_quorums),
+                    "valid (Def 1)": classical.is_valid(),
+                    "valid as GQS (Def 2)": lifted.is_valid(),
+                }
+            )
+    return rows
+
+
+def test_e2_threshold_quorum_systems(benchmark):
+    rows = bench_once(benchmark, build_and_validate, 9)
+    table = ResultTable(
+        title="E2: threshold quorum systems (Example 6)",
+        columns=[
+            "n",
+            "k",
+            "read quorum size",
+            "write quorum size",
+            "|R|",
+            "|W|",
+            "valid (Def 1)",
+            "valid as GQS (Def 2)",
+        ],
+    )
+    for row in rows:
+        table.add_row(**row)
+    print()
+    print(table)
+    assert all(row["valid (Def 1)"] and row["valid as GQS (Def 2)"] for row in rows)
+    assert len(rows) == sum((n - 1) // 2 + 1 for n in range(3, 10))

@@ -1,0 +1,78 @@
+"""repro — reproduction of "Tight Bounds on Channel Reliability via Generalized Quorum Systems".
+
+The library implements, over a deterministic discrete-event network simulator,
+everything the PODC 2025 paper describes:
+
+* the failure model of process crashes plus channel disconnections
+  (:mod:`repro.failures`);
+* classical and **generalized quorum systems** with their availability
+  predicates, the termination component ``U_f`` and a decision procedure that
+  finds a GQS for a fail-prone system or proves none exists
+  (:mod:`repro.quorums`);
+* the quorum access functions of Figures 2-3, the ABD-like MWMR register of
+  Figure 4, atomic snapshots, lattice agreement, and the partially synchronous
+  consensus protocol of Figure 6, plus classical baselines
+  (:mod:`repro.protocols`);
+* linearizability and specification checkers (:mod:`repro.checkers`);
+* Monte Carlo admissibility/reliability studies and experiment harnesses
+  (:mod:`repro.montecarlo`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.analysis import figure1_fail_prone_system
+    from repro.quorums import discover_gqs
+
+    result = discover_gqs(figure1_fail_prone_system())
+    print(result.quorum_system.describe())
+"""
+
+from . import (
+    analysis,
+    checkers,
+    experiments,
+    failures,
+    graph,
+    montecarlo,
+    protocols,
+    quorums,
+    serialization,
+    sim,
+)
+from .errors import (
+    InvalidFailurePatternError,
+    InvalidQuorumSystemError,
+    NoQuorumSystemExistsError,
+    ReproError,
+)
+from .failures import FailProneSystem, FailurePattern
+from .history import History, OperationRecord
+from .quorums import GeneralizedQuorumSystem, QuorumSystem, discover_gqs, find_gqs, gqs_exists
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FailProneSystem",
+    "FailurePattern",
+    "GeneralizedQuorumSystem",
+    "History",
+    "InvalidFailurePatternError",
+    "InvalidQuorumSystemError",
+    "NoQuorumSystemExistsError",
+    "OperationRecord",
+    "QuorumSystem",
+    "ReproError",
+    "__version__",
+    "analysis",
+    "checkers",
+    "discover_gqs",
+    "experiments",
+    "failures",
+    "find_gqs",
+    "gqs_exists",
+    "graph",
+    "montecarlo",
+    "protocols",
+    "quorums",
+    "serialization",
+    "sim",
+]

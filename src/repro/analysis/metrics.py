@@ -1,0 +1,97 @@
+"""Lightweight metric collection and table formatting for the experiments.
+
+Experiments report their results as :class:`ResultTable` objects — ordered rows
+of named columns — which print as aligned ASCII tables.  The benchmark
+harnesses and EXPERIMENTS.md use these to present the same "rows/series" a
+paper evaluation section would.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+@dataclass
+class ResultTable:
+    """An ordered collection of result rows with a fixed column set."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; every column must be provided."""
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError("missing columns {} for table {!r}".format(missing, self.title))
+        self.rows.append({c: values[c] for c in self.columns})
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render the table as aligned ASCII text."""
+        header = list(self.columns)
+        body = [[_format_cell(row[c]) for c in header] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for row in body:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return "{:.3f}".format(value)
+    return str(value)
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty collection)."""
+    data = list(values)
+    return sum(data) / len(data) if data else 0.0
+
+
+def percentile(values: Iterable[float], fraction: float) -> float:
+    """The ``fraction``-quantile (nearest-rank) of ``values`` (0.0 when empty)."""
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must lie in [0, 1]")
+    index = min(len(data) - 1, max(0, int(math.ceil(fraction * len(data))) - 1))
+    return data[index]
+
+
+@dataclass
+class OperationMetrics:
+    """Latency and message-count summary of one protocol run."""
+
+    operations: int = 0
+    completed: int = 0
+    mean_latency: float = 0.0
+    max_latency: float = 0.0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+
+    @property
+    def completion_ratio(self) -> float:
+        """Fraction of invoked operations that completed."""
+        return self.completed / self.operations if self.operations else 0.0
+
+    def messages_per_operation(self) -> float:
+        """Messages sent per completed operation (the whole run's traffic)."""
+        return self.messages_sent / self.completed if self.completed else float("nan")

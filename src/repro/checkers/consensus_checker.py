@@ -1,0 +1,98 @@
+"""Property checking for consensus executions (paper §7).
+
+Consensus safety is Agreement (all terminating ``propose`` invocations return
+the same value) and Validity (the returned value was proposed by someone).
+Liveness is checked against a termination set: the processes at which
+``propose`` was required to return (the component ``U_f`` in the theorems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Set
+
+from ..errors import HistoryError
+from ..history import History
+from ..types import ProcessId
+
+PROPOSE_KIND = "propose"
+
+
+@dataclass
+class ConsensusCheckResult:
+    """Outcome of a consensus property check."""
+
+    agreement: bool = True
+    validity: bool = True
+    termination: bool = True
+    decided_values: List[Any] = field(default_factory=list)
+    non_terminated: List[ProcessId] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether agreement, validity and (if requested) termination all hold."""
+        return self.agreement and self.validity and self.termination
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:
+        return "ConsensusCheckResult(agreement={}, validity={}, termination={})".format(
+            self.agreement, self.validity, self.termination
+        )
+
+
+def check_consensus(
+    history: History, required_to_terminate: Optional[Iterable[ProcessId]] = None
+) -> ConsensusCheckResult:
+    """Check Agreement, Validity and (optionally) termination of a consensus history.
+
+    Parameters
+    ----------
+    history:
+        History of ``propose`` operations (argument = proposal, result =
+        decision for completed operations).
+    required_to_terminate:
+        Processes whose ``propose`` invocations were required to return —
+        typically the component ``U_f`` of the failure pattern in force.  When
+        omitted, termination is not checked.
+    """
+    result = ConsensusCheckResult()
+    for record in history:
+        if record.kind != PROPOSE_KIND:
+            raise HistoryError(
+                "consensus histories may only contain propose operations, got {!r}".format(
+                    record.kind
+                )
+            )
+
+    proposals = {record.argument for record in history}
+    completed = [record for record in history if record.is_complete]
+    result.decided_values = [record.result for record in completed]
+
+    distinct = set(result.decided_values)
+    if len(distinct) > 1:
+        result.agreement = False
+        result.violations.append(
+            "agreement: multiple decided values {!r}".format(sorted(distinct, key=repr))
+        )
+    for record in completed:
+        if record.result not in proposals:
+            result.validity = False
+            result.violations.append(
+                "validity: decided value {!r} was never proposed".format(record.result)
+            )
+
+    if required_to_terminate is not None:
+        required: Set[ProcessId] = set(required_to_terminate)
+        invoked_by = {record.process_id for record in history}
+        completed_by = {record.process_id for record in completed}
+        missing = sorted((required & invoked_by) - completed_by, key=repr)
+        if missing:
+            result.termination = False
+            result.non_terminated = list(missing)
+            result.violations.append(
+                "termination: processes {} in the required set did not decide".format(missing)
+            )
+    return result

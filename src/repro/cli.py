@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four commands cover the workflows a practitioner needs:
+
+``check``
+    Decide whether a fail-prone system (from a JSON file or a built-in example)
+    admits a generalized quorum system; print the witness or report
+    impossibility.  Exit status 0 when a GQS exists, 2 when none does.
+
+``simulate``
+    Run one of the paper's protocols (register, snapshot, lattice agreement,
+    consensus, or the classical Paxos baseline) on the simulated network under
+    a chosen failure pattern and print metrics plus the safety-check verdict.
+
+``sweep``
+    Run the Monte Carlo studies (admissibility of quorum conditions,
+    availability of the Figure 1 quorums) and print the result tables.
+
+``examples``
+    Replay the paper's worked examples (Examples 4-9) and report which hold.
+
+Built-in fail-prone systems: ``figure1``, ``figure1-modified``,
+``ring-<n>`` (e.g. ``ring-5``), ``geo-<sites>x<replicas>`` (e.g. ``geo-3x2``),
+``minority-<n>`` (crash-only threshold).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    figure1_fail_prone_system,
+    figure1_modified_fail_prone_system,
+    run_all_examples,
+)
+from .checkers import (
+    check_consensus,
+    check_lattice_agreement,
+    check_register_linearizability,
+    check_snapshot_linearizability,
+)
+from .errors import ReproError
+from .experiments import (
+    run_consensus_workload,
+    run_lattice_workload,
+    run_paxos_baseline_workload,
+    run_register_workload,
+    run_snapshot_workload,
+)
+from .failures import (
+    FailProneSystem,
+    geo_replicated_system,
+    ring_unidirectional_system,
+)
+from .montecarlo import admissibility_sweep, admissibility_table, reliability_sweep, reliability_table
+from .quorums import discover_gqs
+from .serialization import load_fail_prone_system
+from .types import sorted_processes
+
+
+def _builtin_system(name: str) -> FailProneSystem:
+    """Resolve a built-in fail-prone system by name."""
+    if name == "figure1":
+        return figure1_fail_prone_system()
+    if name == "figure1-modified":
+        return figure1_modified_fail_prone_system()
+    if name.startswith("ring-"):
+        return ring_unidirectional_system(int(name.split("-", 1)[1]))
+    if name.startswith("geo-"):
+        sites, replicas = name.split("-", 1)[1].split("x")
+        return geo_replicated_system(sites=int(sites), replicas_per_site=int(replicas))
+    if name.startswith("minority-"):
+        n = int(name.split("-", 1)[1])
+        return FailProneSystem.minority_crashes(["p{}".format(i) for i in range(n)])
+    raise ReproError(
+        "unknown built-in system {!r}; use figure1, figure1-modified, ring-<n>, "
+        "geo-<sites>x<replicas> or minority-<n>".format(name)
+    )
+
+
+def _resolve_system(args: argparse.Namespace) -> FailProneSystem:
+    if args.spec is not None:
+        return load_fail_prone_system(args.spec)
+    return _builtin_system(args.builtin)
+
+
+def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--spec", help="path to a JSON fail-prone system description")
+    group.add_argument(
+        "--builtin",
+        default="figure1",
+        help="name of a built-in fail-prone system (default: figure1)",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# check
+# ---------------------------------------------------------------------- #
+def cmd_check(args: argparse.Namespace) -> int:
+    system = _resolve_system(args)
+    print(system.describe())
+    print()
+    result = discover_gqs(system)
+    if not result.exists or result.quorum_system is None:
+        print("NO generalized quorum system exists: by Theorem 2 the failure assumptions")
+        print("cannot be tolerated by any register/snapshot/lattice-agreement/consensus")
+        print("implementation (with any non-trivial liveness).")
+        if args.suggest_repairs:
+            from .quorums import suggest_channel_repairs
+            from .types import sorted_channels
+
+            report = suggest_channel_repairs(system, max_channels=args.max_repair_channels)
+            if report.suggestions:
+                print()
+                print("Hardening any of the following channel sets would make the system tolerable:")
+                for suggestion in report.suggestions:
+                    print("  -", sorted_channels(suggestion.channels))
+            else:
+                print()
+                print(
+                    "No repair found by hardening up to {} channel(s); the problem "
+                    "likely lies in the process failures.".format(args.max_repair_channels)
+                )
+        return 2
+    print("A generalized quorum system exists:")
+    print(result.quorum_system.describe())
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# simulate
+# ---------------------------------------------------------------------- #
+def cmd_simulate(args: argparse.Namespace) -> int:
+    system = _resolve_system(args)
+    result = discover_gqs(system)
+    if not result.exists or result.quorum_system is None:
+        print("The fail-prone system admits no generalized quorum system; nothing to simulate.")
+        return 2
+    gqs = result.quorum_system
+
+    pattern = None
+    if args.pattern is not None:
+        matches = [f for f in system.patterns if f.name == args.pattern]
+        if not matches:
+            print(
+                "unknown pattern {!r}; available: {}".format(
+                    args.pattern, [f.name for f in system.patterns]
+                )
+            )
+            return 1
+        pattern = matches[0]
+
+    if args.object == "register":
+        run = run_register_workload(gqs, pattern=pattern, ops_per_process=args.ops, seed=args.seed)
+        verdict = bool(check_register_linearizability(run.history, initial_value=0))
+        safety = "linearizable={}".format(verdict)
+    elif args.object == "snapshot":
+        run = run_snapshot_workload(gqs, pattern=pattern, writes_per_process=1, seed=args.seed)
+        verdict = bool(
+            check_snapshot_linearizability(
+                run.history, segment_ids=sorted_processes(gqs.processes), initial_value=None
+            )
+        )
+        safety = "linearizable={}".format(verdict)
+    elif args.object == "lattice":
+        run = run_lattice_workload(gqs, pattern=pattern, seed=args.seed)
+        verdict = check_lattice_agreement(run.history).ok
+        safety = "lattice-agreement-properties={}".format(verdict)
+    elif args.object == "consensus":
+        run = run_consensus_workload(gqs, pattern=pattern, seed=args.seed)
+        required = gqs.termination_component(pattern) if pattern is not None else gqs.processes
+        verdict = check_consensus(run.history, required_to_terminate=required).ok
+        safety = "agreement+validity+termination={}".format(verdict)
+    else:  # paxos baseline
+        run = run_paxos_baseline_workload(gqs, pattern=pattern, seed=args.seed)
+        verdict = True
+        safety = "baseline (no safety check applied)"
+
+    print("object            :", args.object)
+    print("failure pattern   :", pattern.name if pattern is not None else "none")
+    print("invoked at        :", run.extra.get("invokers"))
+    print("all ops completed :", run.completed)
+    print("safety            :", safety)
+    print("mean latency      : {:.2f}".format(run.metrics.mean_latency))
+    print("max latency       : {:.2f}".format(run.metrics.max_latency))
+    print("messages sent     :", run.metrics.messages_sent)
+    return 0 if (run.completed and verdict) or args.object == "paxos" else 1
+
+
+# ---------------------------------------------------------------------- #
+# sweep
+# ---------------------------------------------------------------------- #
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.kind in ("admissibility", "all"):
+        points = admissibility_sweep(
+            disconnect_probs=tuple(args.probs),
+            n=args.n,
+            num_patterns=args.patterns,
+            samples=args.samples,
+            seed=args.seed,
+        )
+        print(admissibility_table(points))
+        print()
+    if args.kind in ("reliability", "all"):
+        from .analysis import figure1_quorum_system
+
+        estimates = reliability_sweep(
+            figure1_quorum_system(),
+            disconnect_probs=tuple(args.probs),
+            samples=args.samples,
+            seed=args.seed,
+        )
+        print(reliability_table(estimates))
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# examples
+# ---------------------------------------------------------------------- #
+def cmd_examples(args: argparse.Namespace) -> int:
+    outcomes = run_all_examples()
+    failures = 0
+    for outcome in outcomes:
+        status = "ok " if outcome.holds else "FAIL"
+        print("[{}] {:30} {}".format(status, outcome.example, outcome.claim))
+        if not outcome.holds:
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+# ---------------------------------------------------------------------- #
+# Entry point
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Generalized quorum systems: decision procedure, protocol simulation, studies.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="decide whether a fail-prone system admits a GQS")
+    _add_system_arguments(check)
+    check.add_argument(
+        "--suggest-repairs",
+        action="store_true",
+        help="when no GQS exists, search for channel hardenings that would restore one",
+    )
+    check.add_argument(
+        "--max-repair-channels",
+        type=int,
+        default=2,
+        help="largest channel set considered by --suggest-repairs (default 2)",
+    )
+    check.set_defaults(func=cmd_check)
+
+    simulate = sub.add_parser("simulate", help="run a protocol on the simulated network")
+    _add_system_arguments(simulate)
+    simulate.add_argument(
+        "--object",
+        choices=["register", "snapshot", "lattice", "consensus", "paxos"],
+        default="register",
+    )
+    simulate.add_argument("--pattern", help="name of the failure pattern to inject (default: none)")
+    simulate.add_argument("--ops", type=int, default=2, help="operations per invoking process")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=cmd_simulate)
+
+    sweep = sub.add_parser("sweep", help="run the Monte Carlo studies")
+    sweep.add_argument("kind", choices=["admissibility", "reliability", "all"], default="all", nargs="?")
+    sweep.add_argument("--probs", type=float, nargs="+", default=[0.0, 0.1, 0.2, 0.3, 0.5])
+    sweep.add_argument("--samples", type=int, default=40)
+    sweep.add_argument("--n", type=int, default=5)
+    sweep.add_argument("--patterns", type=int, default=3)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(func=cmd_sweep)
+
+    examples = sub.add_parser("examples", help="replay the paper's worked examples")
+    examples.set_defaults(func=cmd_examples)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Experiment harnesses reproducing the paper's examples and implied evaluation (E1-E8)."""
+
+from .tightness import PatternVerdict, TightnessReport, verify_pattern, verify_tightness
+from .workloads import (
+    WorkloadResult,
+    compare_register_overhead,
+    run_consensus_workload,
+    run_lattice_workload,
+    run_paxos_baseline_workload,
+    run_register_workload,
+    run_snapshot_workload,
+)
+
+__all__ = [
+    "PatternVerdict",
+    "TightnessReport",
+    "WorkloadResult",
+    "compare_register_overhead",
+    "run_consensus_workload",
+    "run_lattice_workload",
+    "run_paxos_baseline_workload",
+    "run_register_workload",
+    "run_snapshot_workload",
+    "verify_pattern",
+    "verify_tightness",
+]

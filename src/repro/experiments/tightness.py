@@ -1,0 +1,174 @@
+"""End-to-end tight-bound verification (experiment E8).
+
+Theorems 1 and 2 together say: a fail-prone system supports registers,
+snapshots and lattice agreement (with termination inside ``U_f``) **iff** it
+admits a generalized quorum system.  This module cross-checks the two sides on
+concrete fail-prone systems:
+
+* run the GQS decision procedure (:func:`repro.quorums.discover_gqs`);
+* when a GQS exists, simulate the register/snapshot/lattice protocols under
+  every failure pattern, checking that operations invoked inside ``U_f``
+  terminate and that the resulting histories satisfy the object specification;
+* when no GQS exists, report the non-existence certificate (the lower bound
+  says no implementation can exist, which simulation obviously cannot prove —
+  the discovery outcome *is* the paper's claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.metrics import ResultTable
+from ..checkers import (
+    check_lattice_agreement,
+    check_register_linearizability,
+    check_snapshot_linearizability,
+)
+from ..failures import FailProneSystem, FailurePattern
+from ..quorums import DiscoveryResult, GeneralizedQuorumSystem, discover_gqs
+from ..types import sorted_processes
+from .workloads import run_lattice_workload, run_register_workload, run_snapshot_workload
+
+
+@dataclass
+class PatternVerdict:
+    """Result of verifying one failure pattern of a GQS-admitting system."""
+
+    pattern: FailurePattern
+    termination_component: List
+    register_live: bool = False
+    register_linearizable: bool = False
+    snapshot_live: Optional[bool] = None
+    snapshot_linearizable: Optional[bool] = None
+    lattice_live: Optional[bool] = None
+    lattice_correct: Optional[bool] = None
+
+    @property
+    def ok(self) -> bool:
+        checks = [self.register_live, self.register_linearizable]
+        for value in (
+            self.snapshot_live,
+            self.snapshot_linearizable,
+            self.lattice_live,
+            self.lattice_correct,
+        ):
+            if value is not None:
+                checks.append(value)
+        return all(checks)
+
+
+@dataclass
+class TightnessReport:
+    """Full report of the tightness verification for one fail-prone system."""
+
+    fail_prone: FailProneSystem
+    discovery: DiscoveryResult
+    verdicts: List[PatternVerdict] = field(default_factory=list)
+
+    @property
+    def gqs_exists(self) -> bool:
+        return self.discovery.exists
+
+    @property
+    def all_patterns_ok(self) -> bool:
+        return all(verdict.ok for verdict in self.verdicts)
+
+    def to_table(self) -> ResultTable:
+        """Render the per-pattern verdicts as a result table."""
+        table = ResultTable(
+            title="E8: tightness verification for {}".format(self.fail_prone.name or "system"),
+            columns=[
+                "pattern",
+                "U_f",
+                "register live",
+                "register linearizable",
+                "snapshot ok",
+                "lattice ok",
+            ],
+        )
+        for verdict in self.verdicts:
+            table.add_row(
+                **{
+                    "pattern": verdict.pattern.name or repr(verdict.pattern),
+                    "U_f": ",".join(str(p) for p in verdict.termination_component),
+                    "register live": verdict.register_live,
+                    "register linearizable": verdict.register_linearizable,
+                    "snapshot ok": (
+                        "n/a"
+                        if verdict.snapshot_live is None
+                        else bool(verdict.snapshot_live and verdict.snapshot_linearizable)
+                    ),
+                    "lattice ok": (
+                        "n/a"
+                        if verdict.lattice_live is None
+                        else bool(verdict.lattice_live and verdict.lattice_correct)
+                    ),
+                }
+            )
+        return table
+
+
+def verify_pattern(
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: FailurePattern,
+    ops_per_process: int = 2,
+    include_snapshot: bool = False,
+    include_lattice: bool = False,
+    seed: int = 0,
+) -> PatternVerdict:
+    """Verify liveness inside ``U_f`` and safety of the protocols under one pattern."""
+    component = sorted_processes(quorum_system.termination_component(pattern))
+    verdict = PatternVerdict(pattern=pattern, termination_component=component)
+
+    register_run = run_register_workload(
+        quorum_system, pattern=pattern, ops_per_process=ops_per_process, seed=seed
+    )
+    verdict.register_live = register_run.completed
+    verdict.register_linearizable = bool(
+        check_register_linearizability(register_run.history, initial_value=0)
+    )
+
+    if include_snapshot:
+        snapshot_run = run_snapshot_workload(
+            quorum_system, pattern=pattern, writes_per_process=1, seed=seed
+        )
+        verdict.snapshot_live = snapshot_run.completed
+        verdict.snapshot_linearizable = bool(
+            check_snapshot_linearizability(
+                snapshot_run.history,
+                segment_ids=sorted_processes(quorum_system.processes),
+                initial_value=None,
+            )
+        )
+    if include_lattice:
+        lattice_run = run_lattice_workload(quorum_system, pattern=pattern, seed=seed)
+        verdict.lattice_live = lattice_run.completed
+        verdict.lattice_correct = bool(check_lattice_agreement(lattice_run.history))
+    return verdict
+
+
+def verify_tightness(
+    fail_prone: FailProneSystem,
+    ops_per_process: int = 2,
+    include_snapshot: bool = False,
+    include_lattice: bool = False,
+    seed: int = 0,
+) -> TightnessReport:
+    """Run the full tightness verification for one fail-prone system."""
+    discovery = discover_gqs(fail_prone)
+    report = TightnessReport(fail_prone=fail_prone, discovery=discovery)
+    if not discovery.exists or discovery.quorum_system is None:
+        return report
+    for pattern in fail_prone:
+        report.verdicts.append(
+            verify_pattern(
+                discovery.quorum_system,
+                pattern,
+                ops_per_process=ops_per_process,
+                include_snapshot=include_snapshot,
+                include_lattice=include_lattice,
+                seed=seed,
+            )
+        )
+    return report

@@ -1,0 +1,316 @@
+"""Ready-made simulated workloads for the paper's protocols.
+
+Each ``run_*_workload`` function builds a cluster of protocol processes over a
+quorum system, optionally injects a failure pattern at time zero, drives a
+small client workload (invocations staggered in simulated time), runs the
+discrete-event simulation, and returns the resulting operation history together
+with latency/message metrics.  The benchmark harnesses (E3–E5, E8) and the
+examples are thin wrappers around these functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import OperationMetrics
+from ..failures import FailurePattern
+from ..history import History
+from ..protocols import (
+    classical_register_factory,
+    consensus_factory,
+    gqs_register_factory,
+    lattice_agreement_factory,
+    paxos_factory,
+    snapshot_factory,
+)
+from ..protocols.lattice_agreement import SemiLattice, SetLattice
+from ..quorums import GeneralizedQuorumSystem, QuorumSystem
+from ..sim import Cluster, PartialSynchronyDelay, UniformDelay
+from ..types import ProcessId, sorted_processes
+
+
+@dataclass
+class WorkloadResult:
+    """History plus metrics of one simulated protocol run."""
+
+    history: History
+    metrics: OperationMetrics
+    completed: bool
+    cluster: Any = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def _collect_metrics(cluster: Cluster, history: History) -> OperationMetrics:
+    records = history.records
+    completed = [r for r in records if r.is_complete]
+    return OperationMetrics(
+        operations=len(records),
+        completed=len(completed),
+        mean_latency=history.mean_latency(),
+        max_latency=history.max_latency(),
+        messages_sent=cluster.messages_sent(),
+        messages_delivered=cluster.messages_delivered(),
+    )
+
+
+def _termination_set(
+    quorum_system: GeneralizedQuorumSystem, pattern: Optional[FailurePattern]
+) -> List[ProcessId]:
+    """The processes at which operations are invoked: ``U_f`` under a pattern, else all."""
+    if pattern is None:
+        return sorted_processes(quorum_system.processes)
+    return sorted_processes(quorum_system.termination_component(pattern))
+
+
+# ---------------------------------------------------------------------- #
+# Registers (E3, E4)
+# ---------------------------------------------------------------------- #
+def run_register_workload(
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern] = None,
+    ops_per_process: int = 2,
+    invokers: Optional[Sequence[ProcessId]] = None,
+    push_interval: float = 1.0,
+    op_spacing: float = 8.0,
+    max_time: float = 4_000.0,
+    seed: int = 0,
+    classical: bool = False,
+    relay: bool = True,
+) -> WorkloadResult:
+    """Run an alternating write/read workload on the register protocol.
+
+    Each invoking process issues ``ops_per_process`` operations, alternating
+    writes (of unique values) and reads, staggered ``op_spacing`` time units
+    apart so that operations from different processes overlap.  When
+    ``classical`` is true the ABD baseline over request/response access is used
+    instead of the GQS register.
+    """
+    factory = (
+        classical_register_factory(quorum_system)
+        if classical
+        else gqs_register_factory(quorum_system, push_interval=push_interval, relay=relay)
+    )
+    cluster = Cluster(
+        sorted_processes(quorum_system.processes),
+        factory,
+        delay_model=UniformDelay(0.4, 1.6, seed=seed),
+    )
+    if pattern is not None:
+        cluster.apply_failure_pattern(pattern)
+
+    invoking = list(invokers) if invokers is not None else _termination_set(quorum_system, pattern)
+    deferred = []
+    for op_index in range(ops_per_process):
+        for proc_index, pid in enumerate(invoking):
+            at = 1.0 + op_index * op_spacing + proc_index * (op_spacing / max(len(invoking), 1))
+            if op_index % 2 == 0:
+                value = "{}#{}".format(pid, op_index)
+                deferred.append(cluster.invoke_at(at, pid, "write", value))
+            else:
+                deferred.append(cluster.invoke_at(at, pid, "read"))
+
+    cluster.run(max_time=max_time, stop_when=lambda: all(d.done for d in deferred))
+    completed = all(d.done for d in deferred)
+    handles = [d.handle for d in deferred if d.handle is not None]
+    history = History.from_handles(handles)
+    return WorkloadResult(
+        history=history,
+        metrics=_collect_metrics(cluster, history),
+        completed=completed,
+        cluster=cluster,
+        extra={"invokers": invoking, "classical": classical},
+    )
+
+
+def compare_register_overhead(
+    classical_system: QuorumSystem,
+    gqs_system: Optional[GeneralizedQuorumSystem] = None,
+    ops_per_process: int = 2,
+    seed: int = 0,
+) -> Dict[str, WorkloadResult]:
+    """E4: classical ABD vs the GQS register on a failure-free run of the same system."""
+    if gqs_system is None:
+        gqs_system = GeneralizedQuorumSystem.from_classical(classical_system)
+    classical_run = run_register_workload(
+        gqs_system, pattern=None, ops_per_process=ops_per_process, seed=seed, classical=True
+    )
+    gqs_run = run_register_workload(
+        gqs_system,
+        pattern=None,
+        ops_per_process=ops_per_process,
+        seed=seed,
+        classical=False,
+        relay=False,
+    )
+    return {"classical_abd": classical_run, "gqs_register": gqs_run}
+
+
+# ---------------------------------------------------------------------- #
+# Snapshots and lattice agreement (E8)
+# ---------------------------------------------------------------------- #
+def run_snapshot_workload(
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern] = None,
+    writes_per_process: int = 1,
+    push_interval: float = 1.0,
+    op_spacing: float = 15.0,
+    max_time: float = 6_000.0,
+    seed: int = 0,
+) -> WorkloadResult:
+    """Each invoking process writes unique values to its segment and then scans."""
+    cluster = Cluster(
+        sorted_processes(quorum_system.processes),
+        snapshot_factory(quorum_system, push_interval=push_interval),
+        delay_model=UniformDelay(0.4, 1.6, seed=seed),
+    )
+    if pattern is not None:
+        cluster.apply_failure_pattern(pattern)
+    invoking = _termination_set(quorum_system, pattern)
+
+    deferred = []
+    for op_index in range(writes_per_process):
+        for proc_index, pid in enumerate(invoking):
+            at = 1.0 + op_index * op_spacing + proc_index * (op_spacing / max(len(invoking), 1))
+            deferred.append(cluster.invoke_at(at, pid, "write", "{}#{}".format(pid, op_index)))
+    scan_start = 1.0 + writes_per_process * op_spacing
+    for proc_index, pid in enumerate(invoking):
+        deferred.append(cluster.invoke_at(scan_start + proc_index * 2.0, pid, "scan"))
+
+    cluster.run(max_time=max_time, stop_when=lambda: all(d.done for d in deferred))
+    completed = all(d.done for d in deferred)
+    handles = [d.handle for d in deferred if d.handle is not None]
+    history = History.from_handles(handles)
+    return WorkloadResult(
+        history=history,
+        metrics=_collect_metrics(cluster, history),
+        completed=completed,
+        cluster=cluster,
+        extra={"invokers": invoking},
+    )
+
+
+def run_lattice_workload(
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern] = None,
+    lattice: Optional[SemiLattice] = None,
+    push_interval: float = 1.0,
+    max_time: float = 6_000.0,
+    seed: int = 0,
+) -> WorkloadResult:
+    """Every invoking process proposes a singleton set; outputs must be comparable joins."""
+    lattice = lattice if lattice is not None else SetLattice()
+    cluster = Cluster(
+        sorted_processes(quorum_system.processes),
+        lattice_agreement_factory(quorum_system, lattice=lattice, push_interval=push_interval),
+        delay_model=UniformDelay(0.4, 1.6, seed=seed),
+    )
+    if pattern is not None:
+        cluster.apply_failure_pattern(pattern)
+    invoking = _termination_set(quorum_system, pattern)
+
+    deferred = []
+    for proc_index, pid in enumerate(invoking):
+        proposal = frozenset({pid})
+        deferred.append(cluster.invoke_at(1.0 + proc_index * 3.0, pid, "propose", proposal))
+
+    cluster.run(max_time=max_time, stop_when=lambda: all(d.done for d in deferred))
+    completed = all(d.done for d in deferred)
+    handles = [d.handle for d in deferred if d.handle is not None]
+    history = History.from_handles(handles)
+    return WorkloadResult(
+        history=history,
+        metrics=_collect_metrics(cluster, history),
+        completed=completed,
+        cluster=cluster,
+        extra={"invokers": invoking, "lattice": lattice},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Consensus (E5)
+# ---------------------------------------------------------------------- #
+def run_consensus_workload(
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern] = None,
+    proposers: Optional[Sequence[ProcessId]] = None,
+    view_duration: float = 5.0,
+    gst: float = 30.0,
+    delta: float = 1.0,
+    max_time: float = 3_000.0,
+    seed: int = 0,
+) -> WorkloadResult:
+    """Run the Figure 6 consensus protocol under partial synchrony."""
+    cluster = Cluster(
+        sorted_processes(quorum_system.processes),
+        consensus_factory(quorum_system, view_duration=view_duration),
+        delay_model=PartialSynchronyDelay(gst=gst, delta=delta, seed=seed),
+    )
+    if pattern is not None:
+        cluster.apply_failure_pattern(pattern)
+    invoking = (
+        list(proposers) if proposers is not None else _termination_set(quorum_system, pattern)
+    )
+
+    deferred = []
+    for proc_index, pid in enumerate(invoking):
+        deferred.append(
+            cluster.invoke_at(1.0 + proc_index * 1.5, pid, "propose", "value-from-{}".format(pid))
+        )
+
+    cluster.run(max_time=max_time, stop_when=lambda: all(d.done for d in deferred))
+    completed = all(d.done for d in deferred)
+    handles = [d.handle for d in deferred if d.handle is not None]
+    history = History.from_handles(handles)
+    decided = sorted(
+        {h.result for h in handles if h.done}, key=repr
+    )
+    return WorkloadResult(
+        history=history,
+        metrics=_collect_metrics(cluster, history),
+        completed=completed,
+        cluster=cluster,
+        extra={"invokers": invoking, "decided_values": decided, "gst": gst, "delta": delta},
+    )
+
+
+def run_paxos_baseline_workload(
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern] = None,
+    proposers: Optional[Sequence[ProcessId]] = None,
+    gst: float = 30.0,
+    delta: float = 1.0,
+    retry_timeout: float = 20.0,
+    max_time: float = 1_500.0,
+    seed: int = 0,
+) -> WorkloadResult:
+    """Run the classical request/response Paxos baseline under the same conditions."""
+    process_ids = sorted_processes(quorum_system.processes)
+    cluster = Cluster(
+        process_ids,
+        paxos_factory(process_ids, retry_timeout=retry_timeout),
+        delay_model=PartialSynchronyDelay(gst=gst, delta=delta, seed=seed),
+    )
+    if pattern is not None:
+        cluster.apply_failure_pattern(pattern)
+    invoking = (
+        list(proposers) if proposers is not None else _termination_set(quorum_system, pattern)
+    )
+
+    deferred = []
+    for proc_index, pid in enumerate(invoking):
+        deferred.append(
+            cluster.invoke_at(1.0 + proc_index * 1.5, pid, "propose", "value-from-{}".format(pid))
+        )
+
+    cluster.run(max_time=max_time, stop_when=lambda: all(d.done for d in deferred))
+    completed = all(d.done for d in deferred)
+    handles = [d.handle for d in deferred if d.handle is not None]
+    history = History.from_handles(handles)
+    return WorkloadResult(
+        history=history,
+        metrics=_collect_metrics(cluster, history),
+        completed=completed,
+        cluster=cluster,
+        extra={"invokers": invoking},
+    )

@@ -1,0 +1,24 @@
+"""Failure model: failure patterns and fail-prone systems (paper §2)."""
+
+from .pattern import NO_FAILURES, FailurePattern
+from .failprone import FailProneSystem
+from .generators import (
+    adversarial_partition_system,
+    all_crash_patterns,
+    geo_replicated_system,
+    random_fail_prone_system,
+    random_failure_pattern,
+    ring_unidirectional_system,
+)
+
+__all__ = [
+    "NO_FAILURES",
+    "FailurePattern",
+    "FailProneSystem",
+    "adversarial_partition_system",
+    "all_crash_patterns",
+    "geo_replicated_system",
+    "random_fail_prone_system",
+    "random_failure_pattern",
+    "ring_unidirectional_system",
+]

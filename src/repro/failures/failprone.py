@@ -1,0 +1,218 @@
+"""Fail-prone systems: sets of failure patterns over a fixed process set.
+
+A *fail-prone system* ``F`` collects the failure patterns an algorithm must
+tolerate: in every execution the adversary picks one pattern ``f ∈ F`` and may
+crash (only) the processes and disconnect (only) the channels allowed by ``f``.
+:class:`FailProneSystem` bundles the process set, the network graph and the
+patterns, and offers the threshold constructions used throughout the paper
+(Examples 4 and 6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import InvalidFailurePatternError
+from ..graph import DiGraph
+from ..types import Channel, ProcessId, ProcessSet, sorted_processes
+from .pattern import FailurePattern
+
+
+class FailProneSystem:
+    """A fail-prone system: a finite set of failure patterns over ``processes``.
+
+    Parameters
+    ----------
+    processes:
+        The full process set ``P`` of the system.
+    patterns:
+        The failure patterns.  Every process referenced by a pattern must be in
+        ``processes``.
+    graph:
+        The network graph.  Defaults to the complete graph on ``processes`` (the
+        paper's model has a channel for every ordered pair); a sparser graph can
+        be supplied to model restricted physical topologies.
+    name:
+        Optional label used in reports.
+    """
+
+    def __init__(
+        self,
+        processes: Iterable[ProcessId],
+        patterns: Iterable[FailurePattern],
+        graph: Optional[DiGraph] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self._processes = frozenset(processes)
+        if not self._processes:
+            raise InvalidFailurePatternError("a fail-prone system needs at least one process")
+        self._graph = graph.copy() if graph is not None else DiGraph.complete(self._processes)
+        for p in self._processes:
+            self._graph.add_vertex(p)
+        self._patterns: Tuple[FailurePattern, ...] = tuple(patterns)
+        self._name = name
+        for f in self._patterns:
+            unknown = f.crash_prone - self._processes
+            if unknown:
+                raise InvalidFailurePatternError(
+                    "pattern {!r} references unknown processes {}".format(
+                        f, sorted_processes(unknown)
+                    )
+                )
+            for src, dst in f.disconnect_prone:
+                if src not in self._processes or dst not in self._processes:
+                    raise InvalidFailurePatternError(
+                        "pattern {!r} references a channel outside the process set".format(f)
+                    )
+                if not self._graph.has_edge(src, dst):
+                    raise InvalidFailurePatternError(
+                        "pattern {!r} disconnects channel ({!r}, {!r}) "
+                        "that does not exist in the network graph".format(f, src, dst)
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def processes(self) -> ProcessSet:
+        """The process set ``P``."""
+        return self._processes
+
+    @property
+    def graph(self) -> DiGraph:
+        """The network graph ``G = (P, C)`` (a defensive copy)."""
+        return self._graph.copy()
+
+    @property
+    def patterns(self) -> Tuple[FailurePattern, ...]:
+        """The failure patterns, in the order they were given."""
+        return self._patterns
+
+    @property
+    def name(self) -> Optional[str]:
+        """Optional label of the system."""
+        return self._name
+
+    def __iter__(self) -> Iterator[FailurePattern]:
+        return iter(self._patterns)
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __contains__(self, pattern: FailurePattern) -> bool:
+        return pattern in self._patterns
+
+    def __repr__(self) -> str:
+        label = self._name or "FailProneSystem"
+        return "{}(n={}, |F|={})".format(label, len(self._processes), len(self._patterns))
+
+    # ------------------------------------------------------------------ #
+    # Derived information
+    # ------------------------------------------------------------------ #
+    def residual_graph(self, pattern: FailurePattern) -> DiGraph:
+        """The residual graph ``G \\ f`` for ``pattern``."""
+        return pattern.residual_graph(self._graph)
+
+    def correct_processes(self, pattern: FailurePattern) -> ProcessSet:
+        """Processes correct under ``pattern``."""
+        return pattern.correct_processes(self._processes)
+
+    def allows_channel_failures(self) -> bool:
+        """Return whether any pattern allows a channel between correct processes to fail."""
+        return any(f.disconnect_prone for f in self._patterns)
+
+    def maximal_patterns(self) -> Tuple[FailurePattern, ...]:
+        """Return the patterns not subsumed by any other pattern.
+
+        Tolerating the maximal patterns is equivalent to tolerating the whole
+        system, so analyses may restrict attention to them.
+        """
+        maximal: List[FailurePattern] = []
+        for f in self._patterns:
+            subsumed = any(
+                f is not g and f.is_subsumed_by(g) and not (g.is_subsumed_by(f) and f == g)
+                for g in self._patterns
+            )
+            strictly_subsumed = any(
+                f is not g and f.is_subsumed_by(g) and f != g for g in self._patterns
+            )
+            if not strictly_subsumed and f not in maximal:
+                maximal.append(f)
+            del subsumed
+        return tuple(maximal)
+
+    def with_pattern(self, pattern: FailurePattern, name: Optional[str] = None) -> "FailProneSystem":
+        """Return a new system with ``pattern`` appended."""
+        return FailProneSystem(
+            self._processes, list(self._patterns) + [pattern], graph=self._graph, name=name or self._name
+        )
+
+    def restrict(self, patterns: Sequence[FailurePattern], name: Optional[str] = None) -> "FailProneSystem":
+        """Return a new system containing only ``patterns``."""
+        return FailProneSystem(self._processes, patterns, graph=self._graph, name=name or self._name)
+
+    # ------------------------------------------------------------------ #
+    # Threshold constructions
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def crash_threshold(
+        cls,
+        processes: Iterable[ProcessId],
+        max_crashes: int,
+        name: Optional[str] = None,
+    ) -> "FailProneSystem":
+        """The classical threshold system: at most ``max_crashes`` processes crash.
+
+        Channels between correct processes never fail (Example 4 of the paper:
+        ``F = {(Q, ∅) | Q ⊆ P, |Q| ≤ k}``).  Only the maximal patterns (exactly
+        ``max_crashes`` crashes) are enumerated — smaller crash sets are
+        subsumed by them.
+        """
+        procs = sorted_processes(set(processes))
+        if max_crashes < 0:
+            raise ValueError("max_crashes must be non-negative")
+        if max_crashes >= len(procs):
+            raise ValueError("max_crashes must be smaller than the number of processes")
+        patterns = [
+            FailurePattern.crash_only(combo, name="crash{}".format(i))
+            for i, combo in enumerate(itertools.combinations(procs, max_crashes))
+        ]
+        if not patterns:
+            patterns = [FailurePattern.failure_free()]
+        return cls(procs, patterns, name=name or "crash<= {}".format(max_crashes))
+
+    @classmethod
+    def minority_crashes(
+        cls, processes: Iterable[ProcessId], name: Optional[str] = None
+    ) -> "FailProneSystem":
+        """The standard 'any minority may crash' system (``k = ⌊(n−1)/2⌋``)."""
+        procs = sorted_processes(set(processes))
+        k = (len(procs) - 1) // 2
+        return cls.crash_threshold(procs, k, name=name or "minority-crashes")
+
+    @classmethod
+    def single_pattern(
+        cls,
+        processes: Iterable[ProcessId],
+        pattern: FailurePattern,
+        graph: Optional[DiGraph] = None,
+        name: Optional[str] = None,
+    ) -> "FailProneSystem":
+        """A fail-prone system consisting of a single pattern."""
+        return cls(processes, [pattern], graph=graph, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """Return a multi-line human-readable description of the system."""
+        lines = [
+            "FailProneSystem {}: n={} processes, {} patterns".format(
+                self._name or "<anonymous>", len(self._processes), len(self._patterns)
+            ),
+            "  processes: {}".format(sorted_processes(self._processes)),
+        ]
+        for i, f in enumerate(self._patterns):
+            lines.append("  [{}] {!r}".format(i, f))
+        return "\n".join(lines)

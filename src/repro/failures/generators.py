@@ -1,0 +1,209 @@
+"""Generators of fail-prone systems for experiments and property-based tests.
+
+The paper's lower/upper bounds hold for *arbitrary* fail-prone systems, not just
+threshold ones, so the experiments sample widely:
+
+* :func:`random_fail_prone_system` — each pattern independently crashes
+  processes with probability ``crash_prob`` and disconnects surviving channels
+  with probability ``disconnect_prob``;
+* :func:`geo_replicated_system` — a "data-centres connected by WAN links"
+  scenario where channel failures model asymmetric partitions between sites;
+* :func:`ring_unidirectional_system` — the Figure 1 style construction
+  generalised to ``n`` processes arranged in a directed ring;
+* :func:`adversarial_partition_system` — patterns that split the processes into
+  two groups with only one-directional connectivity across the cut.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..graph import DiGraph
+from ..types import Channel, ProcessId, sorted_processes
+from .failprone import FailProneSystem
+from .pattern import FailurePattern
+
+
+def random_failure_pattern(
+    processes: Sequence[ProcessId],
+    rng: random.Random,
+    crash_prob: float = 0.2,
+    disconnect_prob: float = 0.2,
+    max_crashes: Optional[int] = None,
+    name: Optional[str] = None,
+) -> FailurePattern:
+    """Sample a single failure pattern.
+
+    Each process crashes independently with probability ``crash_prob`` (subject
+    to ``max_crashes`` and to always leaving at least one correct process), and
+    each channel between surviving processes disconnects independently with
+    probability ``disconnect_prob``.
+    """
+    procs = list(processes)
+    crash: List[ProcessId] = []
+    limit = len(procs) - 1 if max_crashes is None else min(max_crashes, len(procs) - 1)
+    for p in procs:
+        if len(crash) >= limit:
+            break
+        if rng.random() < crash_prob:
+            crash.append(p)
+    survivors = [p for p in procs if p not in crash]
+    channels: List[Channel] = []
+    for src in survivors:
+        for dst in survivors:
+            if src != dst and rng.random() < disconnect_prob:
+                channels.append((src, dst))
+    return FailurePattern(crash, channels, name=name)
+
+
+def random_fail_prone_system(
+    n: int = 4,
+    num_patterns: int = 4,
+    crash_prob: float = 0.2,
+    disconnect_prob: float = 0.2,
+    max_crashes: Optional[int] = None,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+) -> FailProneSystem:
+    """Sample a fail-prone system with ``num_patterns`` random patterns.
+
+    The process identifiers are ``p0 .. p{n-1}`` and the network graph is
+    complete.  The sampling is deterministic for a fixed ``seed``.
+    """
+    rng = random.Random(seed)
+    processes = ["p{}".format(i) for i in range(n)]
+    patterns = [
+        random_failure_pattern(
+            processes,
+            rng,
+            crash_prob=crash_prob,
+            disconnect_prob=disconnect_prob,
+            max_crashes=max_crashes,
+            name="f{}".format(i),
+        )
+        for i in range(num_patterns)
+    ]
+    return FailProneSystem(processes, patterns, name=name or "random(n={}, seed={})".format(n, seed))
+
+
+def geo_replicated_system(
+    sites: int = 3,
+    replicas_per_site: int = 2,
+    partitioned_pairs: Optional[Iterable[Tuple[int, int]]] = None,
+    name: Optional[str] = None,
+) -> FailProneSystem:
+    """A geo-replication scenario: replicas grouped into sites, WAN links may fail.
+
+    Processes are named ``s<i>r<j>``.  Intra-site channels are always reliable.
+    For every ordered pair of sites listed in ``partitioned_pairs`` (default:
+    every ordered pair, one pattern each), a failure pattern disconnects all
+    channels *from* the first site *to* the second — an asymmetric partition of
+    the kind reported in the network-partition study the paper cites [8].
+    """
+    processes = [
+        "s{}r{}".format(i, j) for i in range(sites) for j in range(replicas_per_site)
+    ]
+    site_of = {p: int(p[1 : p.index("r")]) for p in processes}
+    if partitioned_pairs is None:
+        partitioned_pairs = [(i, j) for i in range(sites) for j in range(sites) if i != j]
+    patterns = []
+    for idx, (src_site, dst_site) in enumerate(partitioned_pairs):
+        channels = [
+            (p, q)
+            for p in processes
+            for q in processes
+            if p != q and site_of[p] == src_site and site_of[q] == dst_site
+        ]
+        patterns.append(
+            FailurePattern((), channels, name="partition-{}to{}".format(src_site, dst_site))
+        )
+        del idx
+    return FailProneSystem(
+        processes, patterns, name=name or "geo(sites={}, k={})".format(sites, replicas_per_site)
+    )
+
+
+def ring_unidirectional_system(n: int = 4, name: Optional[str] = None) -> FailProneSystem:
+    """A Figure 1 style construction that admits a GQS for every ``n >= 3``.
+
+    Processes ``p0 .. p{n-1}`` are arranged in a ring.  Pattern ``f_i`` keeps
+    correct exactly:
+
+    * a *write window* ``W_i`` of ``⌊n/2⌋ + 1`` consecutive processes starting
+      at ``p_i``, fully connected internally (this is the strongly connected
+      write quorum), and
+    * a single *upstream reader* ``u_i = p_{i-1}`` whose only guaranteed
+      channel is the unidirectional ``(u_i, p_i)`` into the window.
+
+    All processes outside ``W_i ∪ {u_i}`` may crash, and every other channel
+    between correct processes may disconnect.  Because write windows are
+    majorities they pairwise intersect, so ``W = {W_i}`` and
+    ``R = {W_i ∪ {u_i}}`` form a generalized quorum system in which the read
+    quorums are only weakly connected (the reader ``u_i`` has no guaranteed
+    incoming channel).  For ``n = 4`` this has the same flavour as the paper's
+    Figure 1, with a three-process write window instead of a two-process one.
+    """
+    if n < 3:
+        raise ValueError("ring construction needs at least 3 processes")
+    processes = ["p{}".format(i) for i in range(n)]
+    graph = DiGraph.complete(processes)
+    window_size = n // 2 + 1
+    patterns = []
+    for i in range(n):
+        window = [processes[(i + offset) % n] for offset in range(window_size)]
+        reader = processes[(i - 1) % n]
+        survivors = set(window)
+        if reader not in survivors:
+            survivors.add(reader)
+        crash = [p for p in processes if p not in survivors]
+        correct_channels = {
+            (src, dst) for src in window for dst in window if src != dst
+        }
+        correct_channels.add((reader, window[0]))
+        channels = [
+            (src, dst)
+            for src in survivors
+            for dst in survivors
+            if src != dst and (src, dst) not in correct_channels
+        ]
+        patterns.append(FailurePattern(crash, channels, name="f{}".format(i + 1)))
+    return FailProneSystem(processes, patterns, graph=graph, name=name or "ring(n={})".format(n))
+
+
+def adversarial_partition_system(
+    n: int = 6,
+    name: Optional[str] = None,
+) -> FailProneSystem:
+    """Patterns that split the system into two halves with one-way connectivity.
+
+    For every contiguous split point ``s`` the pattern keeps channels inside
+    each half and the channels from the first half into the second, but drops
+    all channels from the second half back into the first.  The second half is
+    therefore strongly connected and reachable from the first — a GQS exists —
+    yet no strongly connected quorum spans both halves.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 processes")
+    processes = ["p{}".format(i) for i in range(n)]
+    patterns = []
+    for split in range(1, n):
+        first = set(processes[:split])
+        second = set(processes[split:])
+        channels = [
+            (src, dst)
+            for src in processes
+            for dst in processes
+            if src != dst and src in second and dst in first
+        ]
+        patterns.append(FailurePattern((), channels, name="split{}".format(split)))
+    return FailProneSystem(processes, patterns, name=name or "one-way-splits(n={})".format(n))
+
+
+def all_crash_patterns(processes: Sequence[ProcessId], k: int) -> List[FailurePattern]:
+    """All crash-only patterns with exactly ``k`` crashed processes."""
+    return [
+        FailurePattern.crash_only(combo)
+        for combo in itertools.combinations(sorted_processes(set(processes)), k)
+    ]

@@ -1,0 +1,29 @@
+"""Directed-graph substrate: the network graph and residual-graph algorithms."""
+
+from .digraph import DiGraph
+from .connectivity import (
+    can_reach,
+    condensation,
+    has_path,
+    is_strongly_connected,
+    mutually_reachable,
+    reachable_from,
+    scc_of,
+    set_reaches_set,
+    strongly_connected_components,
+    transitive_closure,
+)
+
+__all__ = [
+    "DiGraph",
+    "can_reach",
+    "condensation",
+    "has_path",
+    "is_strongly_connected",
+    "mutually_reachable",
+    "reachable_from",
+    "scc_of",
+    "set_reaches_set",
+    "strongly_connected_components",
+    "transitive_closure",
+]

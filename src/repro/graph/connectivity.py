@@ -1,0 +1,205 @@
+"""Connectivity algorithms used by the quorum-system machinery.
+
+Everything the paper needs from graph theory is provided here:
+
+* forward/backward reachability (:func:`reachable_from`, :func:`can_reach`);
+* strongly connected components via an iterative Tarjan algorithm
+  (:func:`strongly_connected_components`);
+* the condensation DAG (:func:`condensation`);
+* convenience predicates :func:`is_strongly_connected`,
+  :func:`mutually_reachable` and :func:`set_reaches_set` that map directly
+  onto the paper's ``f``-availability and ``f``-reachability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..types import ProcessId
+from .digraph import DiGraph
+
+
+def reachable_from(graph: DiGraph, sources: Iterable[ProcessId]) -> FrozenSet[ProcessId]:
+    """Return every vertex reachable from any vertex in ``sources``.
+
+    Sources themselves are always included (a vertex reaches itself via the
+    empty path).  Sources that are not vertices of ``graph`` are ignored.
+    """
+    frontier = [v for v in sources if graph.has_vertex(v)]
+    seen: Set[ProcessId] = set(frontier)
+    while frontier:
+        v = frontier.pop()
+        for w in graph.successors(v):
+            if w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    return frozenset(seen)
+
+
+def can_reach(graph: DiGraph, targets: Iterable[ProcessId]) -> FrozenSet[ProcessId]:
+    """Return every vertex from which some vertex in ``targets`` is reachable."""
+    frontier = [v for v in targets if graph.has_vertex(v)]
+    seen: Set[ProcessId] = set(frontier)
+    while frontier:
+        v = frontier.pop()
+        for w in graph.predecessors(v):
+            if w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    return frozenset(seen)
+
+
+def has_path(graph: DiGraph, src: ProcessId, dst: ProcessId) -> bool:
+    """Return whether there is a directed path from ``src`` to ``dst``."""
+    if not graph.has_vertex(src) or not graph.has_vertex(dst):
+        return False
+    return dst in reachable_from(graph, [src])
+
+
+def strongly_connected_components(graph: DiGraph) -> List[FrozenSet[ProcessId]]:
+    """Return the strongly connected components of ``graph``.
+
+    Uses an iterative version of Tarjan's algorithm so that deep graphs do not
+    overflow the Python call stack.  Components are returned in reverse
+    topological order of the condensation (Tarjan's natural output order); the
+    partition itself is what callers rely on.
+    """
+    index_counter = 0
+    index: Dict[ProcessId, int] = {}
+    lowlink: Dict[ProcessId, int] = {}
+    on_stack: Set[ProcessId] = set()
+    stack: List[ProcessId] = []
+    components: List[FrozenSet[ProcessId]] = []
+
+    for root in graph.vertices:
+        if root in index:
+            continue
+        # Each work-stack entry is (vertex, iterator over successors).
+        work: List[Tuple[ProcessId, List[ProcessId]]] = [(root, list(graph.successors(root)))]
+        index[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, succs = work[-1]
+            advanced = False
+            while succs:
+                w = succs.pop()
+                if w not in index:
+                    index[w] = lowlink[w] = index_counter
+                    index_counter += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, list(graph.successors(w))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+            if lowlink[v] == index[v]:
+                component: Set[ProcessId] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.add(w)
+                    if w == v:
+                        break
+                components.append(frozenset(component))
+    return components
+
+
+def scc_of(graph: DiGraph, vertex: ProcessId) -> FrozenSet[ProcessId]:
+    """Return the strongly connected component containing ``vertex``.
+
+    Raises ``KeyError`` if ``vertex`` is not a vertex of the graph.
+    """
+    if not graph.has_vertex(vertex):
+        raise KeyError(vertex)
+    forward = reachable_from(graph, [vertex])
+    backward = can_reach(graph, [vertex])
+    return frozenset(forward & backward)
+
+
+def condensation(graph: DiGraph) -> Tuple[DiGraph, Dict[ProcessId, int]]:
+    """Return the condensation DAG and the vertex -> component-index mapping.
+
+    Component indices follow the order returned by
+    :func:`strongly_connected_components`.
+    """
+    components = strongly_connected_components(graph)
+    membership: Dict[ProcessId, int] = {}
+    for i, comp in enumerate(components):
+        for v in comp:
+            membership[v] = i
+    dag = DiGraph(vertices=range(len(components)))
+    for src, dst in graph.edges():
+        ci, cj = membership[src], membership[dst]
+        if ci != cj:
+            dag.add_edge(ci, cj)
+    return dag, membership
+
+
+def is_strongly_connected(graph: DiGraph, vertices: Iterable[ProcessId]) -> bool:
+    """Return whether all ``vertices`` are mutually reachable in ``graph``.
+
+    Note: following the paper (which assumes message forwarding, i.e. a
+    transitive connectivity relation), the test is mutual reachability *within
+    the whole graph*, not strong connectivity of the induced subgraph.  The
+    empty set and singletons are trivially strongly connected.
+    """
+    return mutually_reachable(graph, vertices)
+
+
+def mutually_reachable(graph: DiGraph, vertices: Iterable[ProcessId]) -> bool:
+    """Return whether every vertex in ``vertices`` can reach every other one."""
+    vs = list(dict.fromkeys(vertices))
+    if len(vs) <= 1:
+        return all(graph.has_vertex(v) for v in vs)
+    if not all(graph.has_vertex(v) for v in vs):
+        return False
+    anchor = vs[0]
+    forward = reachable_from(graph, [anchor])
+    backward = can_reach(graph, [anchor])
+    return all(v in forward and v in backward for v in vs)
+
+
+def set_reaches_set(
+    graph: DiGraph, sources: Iterable[ProcessId], targets: Iterable[ProcessId]
+) -> bool:
+    """Return whether *every* target is reachable from *every* source.
+
+    This is the paper's ``f``-reachability shape: a write quorum ``W`` is
+    ``f``-reachable from a read quorum ``R`` when every member of ``W`` can be
+    reached by every member of ``R`` via a directed path in the residual graph.
+    """
+    srcs = list(dict.fromkeys(sources))
+    tgts = set(targets)
+    if not all(graph.has_vertex(v) for v in srcs):
+        return False
+    if not all(graph.has_vertex(v) for v in tgts):
+        return False
+    for src in srcs:
+        reach = reachable_from(graph, [src])
+        if not tgts <= reach:
+            return False
+    return True
+
+
+def transitive_closure(graph: DiGraph) -> DiGraph:
+    """Return the transitive closure of ``graph``.
+
+    The paper assumes (w.l.o.g.) that connectivity is transitive because
+    processes forward every message they receive; taking the closure of a
+    residual graph models that assumption explicitly.
+    """
+    closure = DiGraph(vertices=graph.vertices)
+    for v in graph.vertices:
+        for w in reachable_from(graph, [v]):
+            if v != w:
+                closure.add_edge(v, w)
+    return closure

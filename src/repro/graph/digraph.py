@@ -1,0 +1,257 @@
+"""A small directed-graph type tailored to the paper's network model.
+
+The paper works with the *network graph* ``G = (P, C)`` whose vertices are
+processes and whose edges are unidirectional channels, and with *residual
+graphs* ``G \\ f`` obtained by deleting the processes and channels that a
+failure pattern ``f`` allows to fail.  All connectivity notions used by the
+paper (``f``-availability, ``f``-reachability, the component ``U_f``) reduce to
+reachability and strongly connected components of such graphs, so this module
+provides exactly those primitives with no external dependencies.
+
+The implementation favours clarity and determinism: vertex iteration order is
+insertion order, and all algorithms are iterative (no recursion) so that large
+simulated networks do not hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..types import Channel, ProcessId, sorted_processes
+
+
+class DiGraph:
+    """A simple directed graph over hashable vertices.
+
+    Parameters
+    ----------
+    vertices:
+        Initial vertices. Optional; vertices are also added implicitly by
+        :meth:`add_edge`.
+    edges:
+        Initial ``(src, dst)`` edges.
+    """
+
+    def __init__(
+        self,
+        vertices: Optional[Iterable[ProcessId]] = None,
+        edges: Optional[Iterable[Channel]] = None,
+    ) -> None:
+        self._succ: Dict[ProcessId, Set[ProcessId]] = {}
+        self._pred: Dict[ProcessId, Set[ProcessId]] = {}
+        if vertices is not None:
+            for v in vertices:
+                self.add_vertex(v)
+        if edges is not None:
+            for src, dst in edges:
+                self.add_edge(src, dst)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, v: ProcessId) -> None:
+        """Add vertex ``v`` (no-op if already present)."""
+        if v not in self._succ:
+            self._succ[v] = set()
+            self._pred[v] = set()
+
+    def add_edge(self, src: ProcessId, dst: ProcessId) -> None:
+        """Add the directed edge ``src -> dst``; endpoints are added as needed.
+
+        Self-loops are ignored: the paper's channel set contains only channels
+        between distinct processes, and a self-loop never affects reachability.
+        """
+        if src == dst:
+            self.add_vertex(src)
+            return
+        self.add_vertex(src)
+        self.add_vertex(dst)
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def remove_vertex(self, v: ProcessId) -> None:
+        """Remove vertex ``v`` and every incident edge."""
+        if v not in self._succ:
+            return
+        for w in self._succ.pop(v):
+            self._pred[w].discard(v)
+        for w in self._pred.pop(v):
+            self._succ[w].discard(v)
+
+    def remove_edge(self, src: ProcessId, dst: ProcessId) -> None:
+        """Remove the edge ``src -> dst`` if present."""
+        if src in self._succ:
+            self._succ[src].discard(dst)
+        if dst in self._pred:
+            self._pred[dst].discard(src)
+
+    def copy(self) -> "DiGraph":
+        """Return an independent copy of the graph."""
+        g = DiGraph()
+        for v in self._succ:
+            g.add_vertex(v)
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                g.add_edge(src, dst)
+        return g
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def vertices(self) -> List[ProcessId]:
+        """Vertices in insertion order."""
+        return list(self._succ)
+
+    @property
+    def vertex_set(self) -> FrozenSet[ProcessId]:
+        """Vertices as a frozen set."""
+        return frozenset(self._succ)
+
+    def edges(self) -> Iterator[Channel]:
+        """Iterate over all ``(src, dst)`` edges."""
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield (src, dst)
+
+    def edge_set(self) -> FrozenSet[Channel]:
+        """All edges as a frozen set."""
+        return frozenset(self.edges())
+
+    def has_vertex(self, v: ProcessId) -> bool:
+        """Return whether ``v`` is a vertex of the graph."""
+        return v in self._succ
+
+    def has_edge(self, src: ProcessId, dst: ProcessId) -> bool:
+        """Return whether the edge ``src -> dst`` is present."""
+        return src in self._succ and dst in self._succ[src]
+
+    def successors(self, v: ProcessId) -> FrozenSet[ProcessId]:
+        """Out-neighbours of ``v``."""
+        return frozenset(self._succ.get(v, ()))
+
+    def predecessors(self, v: ProcessId) -> FrozenSet[ProcessId]:
+        """In-neighbours of ``v``."""
+        return frozenset(self._pred.get(v, ()))
+
+    def out_degree(self, v: ProcessId) -> int:
+        """Number of out-neighbours of ``v``."""
+        return len(self._succ.get(v, ()))
+
+    def in_degree(self, v: ProcessId) -> int:
+        """Number of in-neighbours of ``v``."""
+        return len(self._pred.get(v, ()))
+
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._succ)
+
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return sum(len(dsts) for dsts in self._succ.values())
+
+    def __contains__(self, v: ProcessId) -> bool:
+        return v in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return self.vertex_set == other.vertex_set and self.edge_set() == other.edge_set()
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are rarely hashed
+        return hash((self.vertex_set, self.edge_set()))
+
+    def __repr__(self) -> str:
+        return "DiGraph(|V|={}, |E|={})".format(self.num_vertices(), self.num_edges())
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def subgraph(self, vertices: Iterable[ProcessId]) -> "DiGraph":
+        """Return the subgraph induced on ``vertices``."""
+        keep = set(vertices)
+        g = DiGraph()
+        for v in self._succ:
+            if v in keep:
+                g.add_vertex(v)
+        for src, dsts in self._succ.items():
+            if src not in keep:
+                continue
+            for dst in dsts:
+                if dst in keep:
+                    g.add_edge(src, dst)
+        return g
+
+    def without(
+        self,
+        vertices: Iterable[ProcessId] = (),
+        edges: Iterable[Channel] = (),
+    ) -> "DiGraph":
+        """Return a copy with the given vertices (and incident edges) and edges removed.
+
+        This is the *residual graph* operation ``G \\ f`` of the paper when
+        ``vertices`` is the set of crash-prone processes and ``edges`` the set
+        of disconnection-prone channels of a failure pattern ``f``.
+        """
+        removed_vertices = set(vertices)
+        removed_edges = set((src, dst) for src, dst in edges)
+        g = DiGraph()
+        for v in self._succ:
+            if v not in removed_vertices:
+                g.add_vertex(v)
+        for src, dsts in self._succ.items():
+            if src in removed_vertices:
+                continue
+            for dst in dsts:
+                if dst in removed_vertices:
+                    continue
+                if (src, dst) in removed_edges:
+                    continue
+                g.add_edge(src, dst)
+        return g
+
+    def reverse(self) -> "DiGraph":
+        """Return the graph with every edge reversed."""
+        g = DiGraph()
+        for v in self._succ:
+            g.add_vertex(v)
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                g.add_edge(dst, src)
+        return g
+
+    # ------------------------------------------------------------------ #
+    # Factories
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def complete(cls, processes: Iterable[ProcessId]) -> "DiGraph":
+        """The complete network graph: every ordered pair of distinct vertices.
+
+        This is the paper's network graph ``G = (P, C)`` where ``C`` contains a
+        channel for every ordered pair of processes.
+        """
+        procs = list(processes)
+        g = cls(vertices=procs)
+        for p in procs:
+            for q in procs:
+                if p != q:
+                    g.add_edge(p, q)
+        return g
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Channel]) -> "DiGraph":
+        """Build a graph from an edge list."""
+        return cls(edges=edges)
+
+    def to_dot(self) -> str:
+        """Render the graph in GraphViz DOT format (for debugging/examples)."""
+        lines = ["digraph G {"]
+        for v in sorted_processes(self.vertices):
+            lines.append('  "{}";'.format(v))
+        for src, dst in sorted(self.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
+            lines.append('  "{}" -> "{}";'.format(src, dst))
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Monte Carlo reliability of concrete quorum systems under random failures.
+
+Given a fixed quorum system (classical or generalized) these routines estimate
+the probability that its Availability condition holds when processes crash and
+channels disconnect *independently at random* — the classical "quorum system
+reliability" question (Naor & Wool) transplanted to the paper's channel-failure
+model.  They quantify how much availability the GQS relaxation buys for a fixed
+set of quorums: a GQS only needs one strongly connected write quorum reachable
+from a read quorum, whereas the QS+ condition needs a strongly connected
+read∪write pair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import ResultTable
+from ..failures import FailProneSystem, FailurePattern
+from ..graph import mutually_reachable
+from ..quorums import GeneralizedQuorumSystem, is_f_available, is_f_reachable
+from ..types import ProcessId, ProcessSet
+
+
+@dataclass
+class ReliabilityEstimate:
+    """Availability estimates for one (crash, disconnect) probability point."""
+
+    crash_prob: float
+    disconnect_prob: float
+    samples: int
+    gqs_available: int = 0
+    strong_available: int = 0
+    classical_available: int = 0
+
+    @property
+    def gqs_availability(self) -> float:
+        return self.gqs_available / self.samples if self.samples else 0.0
+
+    @property
+    def strong_availability(self) -> float:
+        return self.strong_available / self.samples if self.samples else 0.0
+
+    @property
+    def classical_availability(self) -> float:
+        return self.classical_available / self.samples if self.samples else 0.0
+
+
+def _sample_pattern(
+    processes: Sequence[ProcessId],
+    rng: random.Random,
+    crash_prob: float,
+    disconnect_prob: float,
+) -> FailurePattern:
+    crashed = [p for p in processes if rng.random() < crash_prob]
+    if len(crashed) == len(processes):
+        crashed = crashed[:-1]
+    survivors = [p for p in processes if p not in crashed]
+    channels = [
+        (src, dst)
+        for src in survivors
+        for dst in survivors
+        if src != dst and rng.random() < disconnect_prob
+    ]
+    return FailurePattern(crashed, channels)
+
+
+def _availability_under(
+    quorum_system: GeneralizedQuorumSystem, pattern: FailurePattern
+) -> Tuple[bool, bool, bool]:
+    """(GQS availability, QS+ availability, classical availability) for one pattern."""
+    fail_prone = FailProneSystem(
+        quorum_system.processes, [pattern], graph=quorum_system.fail_prone.graph
+    )
+    correct = pattern.correct_processes(quorum_system.processes)
+    residual = fail_prone.residual_graph(pattern)
+
+    gqs_ok = False
+    strong_ok = False
+    classical_ok = False
+    for write_quorum in quorum_system.write_quorums:
+        write_correct = write_quorum <= correct
+        if not write_correct:
+            continue
+        write_available = is_f_available(fail_prone, pattern, write_quorum)
+        for read_quorum in quorum_system.read_quorums:
+            if not read_quorum <= correct:
+                continue
+            classical_ok = True
+            if write_available and is_f_reachable(fail_prone, pattern, write_quorum, read_quorum):
+                gqs_ok = True
+            if mutually_reachable(residual, read_quorum | write_quorum):
+                strong_ok = True
+        if gqs_ok and strong_ok and classical_ok:
+            break
+    return gqs_ok, strong_ok, classical_ok
+
+
+def estimate_reliability(
+    quorum_system: GeneralizedQuorumSystem,
+    crash_prob: float = 0.1,
+    disconnect_prob: float = 0.2,
+    samples: int = 200,
+    seed: int = 0,
+) -> ReliabilityEstimate:
+    """Estimate availability of the quorum system's three availability notions."""
+    rng = random.Random(seed)
+    processes = sorted(quorum_system.processes, key=repr)
+    estimate = ReliabilityEstimate(
+        crash_prob=crash_prob, disconnect_prob=disconnect_prob, samples=samples
+    )
+    for _ in range(samples):
+        pattern = _sample_pattern(processes, rng, crash_prob, disconnect_prob)
+        gqs_ok, strong_ok, classical_ok = _availability_under(quorum_system, pattern)
+        if gqs_ok:
+            estimate.gqs_available += 1
+        if strong_ok:
+            estimate.strong_available += 1
+        if classical_ok:
+            estimate.classical_available += 1
+    return estimate
+
+
+def reliability_sweep(
+    quorum_system: GeneralizedQuorumSystem,
+    disconnect_probs: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+    crash_prob: float = 0.1,
+    samples: int = 200,
+    seed: int = 0,
+) -> List[ReliabilityEstimate]:
+    """Sweep the disconnection probability, keeping the crash probability fixed."""
+    return [
+        estimate_reliability(
+            quorum_system,
+            crash_prob=crash_prob,
+            disconnect_prob=p,
+            samples=samples,
+            seed=seed + index,
+        )
+        for index, p in enumerate(disconnect_probs)
+    ]
+
+
+def reliability_table(estimates: Iterable[ReliabilityEstimate]) -> ResultTable:
+    """Format reliability estimates as a result table."""
+    table = ResultTable(
+        title="Quorum availability under i.i.d. process/channel failures",
+        columns=[
+            "disconnect_prob",
+            "crash_prob",
+            "classical availability",
+            "QS+ availability",
+            "GQS availability",
+        ],
+    )
+    for estimate in estimates:
+        table.add_row(
+            **{
+                "disconnect_prob": estimate.disconnect_prob,
+                "crash_prob": estimate.crash_prob,
+                "classical availability": estimate.classical_availability,
+                "QS+ availability": estimate.strong_availability,
+                "GQS availability": estimate.gqs_availability,
+            }
+        )
+    return table

@@ -1,0 +1,151 @@
+"""Message types exchanged by the protocol implementations.
+
+Every message is a small frozen dataclass.  Field names follow the paper's
+pseudocode (Figures 2, 3 and 6) so that the handler code can be read side by
+side with the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+
+# ---------------------------------------------------------------------- #
+# Classical quorum access functions (Figure 2)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GetReq:
+    """``GET_REQ(seq)`` — request for the receiver's current state."""
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class GetRespSeq:
+    """``GET_RESP(seq, state)`` — response to a :class:`GetReq`."""
+
+    seq: int
+    state: Any
+
+
+@dataclass(frozen=True)
+class SetReq:
+    """``SET_REQ(seq, u)`` — apply the update function ``u`` to the receiver's state."""
+
+    seq: int
+    update: Callable[[Any], Any]
+
+
+@dataclass(frozen=True)
+class SetRespAck:
+    """``SET_RESP(seq)`` — acknowledgement of a :class:`SetReq` (classical variant)."""
+
+    seq: int
+
+
+# ---------------------------------------------------------------------- #
+# Generalized quorum access functions (Figure 3)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ClockReq:
+    """``CLOCK_REQ(seq)`` — ask the receiver for its current logical clock."""
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class ClockResp:
+    """``CLOCK_RESP(seq, clock)`` — the receiver's current logical clock."""
+
+    seq: int
+    clock: int
+
+
+@dataclass(frozen=True)
+class StatePush:
+    """``GET_RESP(state, clock)`` — periodic, unsolicited state propagation.
+
+    The clock value indicates the logical time by which the sender held
+    ``state``; receivers keep only the freshest push per sender.
+    """
+
+    state: Any
+    clock: int
+
+
+@dataclass(frozen=True)
+class SetRespClock:
+    """``SET_RESP(seq, clock)`` — acknowledgement carrying the updated logical clock."""
+
+    seq: int
+    clock: int
+
+
+# ---------------------------------------------------------------------- #
+# Consensus (Figure 6)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class OneB:
+    """``1B(view, aview, val)`` — sent to the leader of ``view`` upon entering it."""
+
+    view: int
+    aview: int
+    val: Any
+
+
+@dataclass(frozen=True)
+class TwoA:
+    """``2A(view, x)`` — the leader's proposal for ``view``."""
+
+    view: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class TwoB:
+    """``2B(view, x)`` — acceptance of the proposal of ``view``."""
+
+    view: int
+    value: Any
+
+
+# ---------------------------------------------------------------------- #
+# Classical Paxos baseline (request/response quorum access)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Prepare:
+    """Phase-1a: ask acceptors to promise ballot ``ballot``."""
+
+    ballot: Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase-1b: a promise carrying the acceptor's last accepted ballot/value."""
+
+    ballot: Tuple[int, int]
+    accepted_ballot: Any
+    accepted_value: Any
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase-2a: ask acceptors to accept ``value`` at ballot ``ballot``."""
+
+    ballot: Tuple[int, int]
+    value: Any
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Phase-2b: acknowledgement that ``ballot`` was accepted."""
+
+    ballot: Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Decided:
+    """Broadcast of a decided value (learning message)."""
+
+    value: Any

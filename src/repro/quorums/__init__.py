@@ -1,0 +1,53 @@
+"""Quorum systems: classical (Definition 1), generalized (Definition 2), QS+ and discovery."""
+
+from .classical import (
+    QuorumSystem,
+    grid_quorum_system,
+    majority_quorum_system,
+    minimal_quorums,
+    quorum_load,
+    threshold_quorum_system,
+)
+from .generalized import (
+    GeneralizedQuorumSystem,
+    is_f_available,
+    is_f_reachable,
+)
+from .repair import RepairReport, RepairSuggestion, harden_channels, suggest_channel_repairs
+from .strong import StrongQuorumSystem, strong_system_exists
+from .discovery import (
+    CandidateQuorumPair,
+    DiscoveryResult,
+    candidate_pairs,
+    classify_fail_prone_system,
+    discover_gqs,
+    find_gqs,
+    gqs_exists,
+    gqs_exists_bruteforce,
+)
+
+__all__ = [
+    "CandidateQuorumPair",
+    "DiscoveryResult",
+    "GeneralizedQuorumSystem",
+    "QuorumSystem",
+    "RepairReport",
+    "RepairSuggestion",
+    "StrongQuorumSystem",
+    "candidate_pairs",
+    "classify_fail_prone_system",
+    "discover_gqs",
+    "find_gqs",
+    "gqs_exists",
+    "gqs_exists_bruteforce",
+    "grid_quorum_system",
+    "harden_channels",
+    "is_f_available",
+    "is_f_reachable",
+    "majority_quorum_system",
+    "minimal_quorums",
+    "quorum_load",
+    "strong_system_exists",
+    "suggest_channel_repairs",
+    "threshold_quorum_system",
+]

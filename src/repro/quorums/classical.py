@@ -1,0 +1,272 @@
+"""Classical read/write quorum systems (Definition 1 of the paper).
+
+A classical quorum system ``(F, R, W)`` is defined over a fail-prone system
+that disallows channel failures between correct processes and requires
+
+* **Consistency** — every read quorum intersects every write quorum, and
+* **Availability** — for every failure pattern some read quorum and some write
+  quorum consist entirely of correct processes.
+
+This module provides the data type, validation, and the standard constructions
+used by the paper's examples: majority quorums, threshold read/write quorums
+(Example 6, the "flexible" trade-off of smaller write quorums for larger read
+quorums) and grid quorums (a classical non-threshold construction).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import (
+    InvalidQuorumSystemError,
+    QuorumAvailabilityError,
+    QuorumConsistencyError,
+)
+from ..failures import FailProneSystem, FailurePattern
+from ..types import ProcessId, ProcessSet, sorted_processes
+
+QuorumFamily = Tuple[ProcessSet, ...]
+
+
+def _normalise_family(quorums: Iterable[Iterable[ProcessId]]) -> QuorumFamily:
+    """Deduplicate and freeze a family of quorums, preserving first-seen order."""
+    seen: List[ProcessSet] = []
+    for q in quorums:
+        fq = frozenset(q)
+        if not fq:
+            raise InvalidQuorumSystemError("quorums must be non-empty")
+        if fq not in seen:
+            seen.append(fq)
+    if not seen:
+        raise InvalidQuorumSystemError("a quorum family must contain at least one quorum")
+    return tuple(seen)
+
+
+class QuorumSystem:
+    """A classical read/write quorum system ``(F, R, W)``.
+
+    Parameters
+    ----------
+    fail_prone:
+        The fail-prone system ``F``.  It must not allow channel failures
+        between correct processes; otherwise Definition 1 does not apply and
+        :class:`~repro.errors.InvalidQuorumSystemError` is raised.
+    read_quorums / write_quorums:
+        The families ``R`` and ``W``.
+    validate:
+        When true (default) Consistency and Availability are checked eagerly.
+    """
+
+    def __init__(
+        self,
+        fail_prone: FailProneSystem,
+        read_quorums: Iterable[Iterable[ProcessId]],
+        write_quorums: Iterable[Iterable[ProcessId]],
+        validate: bool = True,
+    ) -> None:
+        if fail_prone.allows_channel_failures():
+            raise InvalidQuorumSystemError(
+                "a classical quorum system requires a fail-prone system with no "
+                "channel failures between correct processes (Definition 1); "
+                "use GeneralizedQuorumSystem instead"
+            )
+        self._fail_prone = fail_prone
+        self._read_quorums = _normalise_family(read_quorums)
+        self._write_quorums = _normalise_family(write_quorums)
+        for q in self._read_quorums + self._write_quorums:
+            unknown = q - fail_prone.processes
+            if unknown:
+                raise InvalidQuorumSystemError(
+                    "quorum {} references unknown processes {}".format(
+                        sorted_processes(q), sorted_processes(unknown)
+                    )
+                )
+        if validate:
+            self.check()
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def fail_prone(self) -> FailProneSystem:
+        """The fail-prone system ``F``."""
+        return self._fail_prone
+
+    @property
+    def read_quorums(self) -> QuorumFamily:
+        """The read-quorum family ``R``."""
+        return self._read_quorums
+
+    @property
+    def write_quorums(self) -> QuorumFamily:
+        """The write-quorum family ``W``."""
+        return self._write_quorums
+
+    @property
+    def processes(self) -> ProcessSet:
+        """The process set ``P``."""
+        return self._fail_prone.processes
+
+    def __repr__(self) -> str:
+        return "QuorumSystem(n={}, |R|={}, |W|={})".format(
+            len(self.processes), len(self._read_quorums), len(self._write_quorums)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Definition 1 predicates
+    # ------------------------------------------------------------------ #
+    def consistency_violations(self) -> List[Tuple[ProcessSet, ProcessSet]]:
+        """Return every ``(R, W)`` pair with an empty intersection."""
+        return [
+            (r, w)
+            for r in self._read_quorums
+            for w in self._write_quorums
+            if not (r & w)
+        ]
+
+    def is_consistent(self) -> bool:
+        """Return whether every read quorum intersects every write quorum."""
+        return not self.consistency_violations()
+
+    def available_quorums(
+        self, pattern: FailurePattern
+    ) -> Optional[Tuple[ProcessSet, ProcessSet]]:
+        """Return a ``(read, write)`` pair of all-correct quorums under ``pattern``.
+
+        Returns ``None`` when no such pair exists.
+        """
+        correct = pattern.correct_processes(self.processes)
+        read = next((r for r in self._read_quorums if r <= correct), None)
+        write = next((w for w in self._write_quorums if w <= correct), None)
+        if read is None or write is None:
+            return None
+        return read, write
+
+    def is_available(self, pattern: FailurePattern) -> bool:
+        """Return whether Availability holds for ``pattern``."""
+        return self.available_quorums(pattern) is not None
+
+    def availability_violations(self) -> List[FailurePattern]:
+        """Return the failure patterns with no available quorum pair."""
+        return [f for f in self._fail_prone if not self.is_available(f)]
+
+    def check(self) -> None:
+        """Validate Definition 1, raising a descriptive error on violation."""
+        bad_pairs = self.consistency_violations()
+        if bad_pairs:
+            r, w = bad_pairs[0]
+            raise QuorumConsistencyError(
+                "read quorum {} does not intersect write quorum {}".format(
+                    sorted_processes(r), sorted_processes(w)
+                )
+            )
+        bad_patterns = self.availability_violations()
+        if bad_patterns:
+            raise QuorumAvailabilityError(
+                "no available read/write quorum pair under pattern {!r}".format(bad_patterns[0])
+            )
+
+    def is_valid(self) -> bool:
+        """Return whether the triple satisfies Definition 1."""
+        try:
+            self.check()
+        except InvalidQuorumSystemError:
+            return False
+        return True
+
+
+# ---------------------------------------------------------------------- #
+# Standard constructions
+# ---------------------------------------------------------------------- #
+def majority_quorum_system(
+    processes: Iterable[ProcessId], fail_prone: Optional[FailProneSystem] = None
+) -> QuorumSystem:
+    """Majority quorums: read and write quorums are all majorities of ``P``.
+
+    This is the special case ``k = ⌊(n−1)/2⌋`` of Example 6, where the read and
+    write families coincide.
+    """
+    procs = sorted_processes(set(processes))
+    n = len(procs)
+    majority = n // 2 + 1
+    quorums = [frozenset(c) for c in itertools.combinations(procs, majority)]
+    if fail_prone is None:
+        fail_prone = FailProneSystem.minority_crashes(procs)
+    return QuorumSystem(fail_prone, quorums, quorums)
+
+
+def threshold_quorum_system(
+    processes: Iterable[ProcessId],
+    max_crashes: int,
+    fail_prone: Optional[FailProneSystem] = None,
+) -> QuorumSystem:
+    """The threshold construction of Example 6.
+
+    With at most ``k = max_crashes`` crashes, read quorums have size
+    ``>= n − k`` and write quorums size ``>= k + 1``.  Only the minimal quorums
+    (exactly those sizes) are enumerated; supersets add nothing.
+    """
+    procs = sorted_processes(set(processes))
+    n = len(procs)
+    k = max_crashes
+    if not 0 <= k <= (n - 1) // 2:
+        raise InvalidQuorumSystemError(
+            "threshold construction requires 0 <= k <= floor((n-1)/2), got k={} n={}".format(k, n)
+        )
+    read_quorums = [frozenset(c) for c in itertools.combinations(procs, n - k)]
+    write_quorums = [frozenset(c) for c in itertools.combinations(procs, k + 1)]
+    if fail_prone is None:
+        fail_prone = FailProneSystem.crash_threshold(procs, k)
+    return QuorumSystem(fail_prone, read_quorums, write_quorums)
+
+
+def grid_quorum_system(
+    rows: int, cols: int, fail_prone: Optional[FailProneSystem] = None
+) -> QuorumSystem:
+    """A grid quorum system over ``rows × cols`` processes.
+
+    Write quorums are a full row plus one process from every other row (a
+    "row cover"); read quorums are full columns.  Every column intersects every
+    row, giving Consistency.  The default fail-prone system allows no failures
+    (grids are primarily a load/availability construction); callers wanting
+    fault tolerance should pass an explicit ``fail_prone`` compatible with the
+    quorum families.
+    """
+    if rows < 1 or cols < 1:
+        raise InvalidQuorumSystemError("grid dimensions must be positive")
+    processes = ["g{}_{}".format(r, c) for r in range(rows) for c in range(cols)]
+    grid = [[("g{}_{}".format(r, c)) for c in range(cols)] for r in range(rows)]
+    read_quorums = [frozenset(grid[r][c] for r in range(rows)) for c in range(cols)]
+    write_quorums = [frozenset(grid[r]) for r in range(rows)]
+    if fail_prone is None:
+        fail_prone = FailProneSystem(processes, [FailurePattern.failure_free()], name="grid-no-failures")
+    return QuorumSystem(fail_prone, read_quorums, write_quorums)
+
+
+def minimal_quorums(family: Sequence[ProcessSet]) -> List[ProcessSet]:
+    """Return the inclusion-minimal members of a quorum family."""
+    result: List[ProcessSet] = []
+    for q in family:
+        if not any(other < q for other in family if other is not q):
+            if q not in result:
+                result.append(q)
+    return result
+
+
+def quorum_load(system: QuorumSystem) -> float:
+    """The (naive) load of the system: max over processes of quorum membership frequency.
+
+    A classical quality metric from Naor & Wool; included because the paper
+    cites that line of work for quorum-system background.  The load here is
+    computed for the uniform strategy over the union of read and write quorums.
+    """
+    quorums = list(system.read_quorums) + list(system.write_quorums)
+    if not quorums:
+        return 0.0
+    counts = {p: 0 for p in system.processes}
+    for q in quorums:
+        for p in q:
+            counts[p] += 1
+    return max(counts.values()) / len(quorums)

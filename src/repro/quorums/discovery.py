@@ -1,0 +1,221 @@
+"""Deciding whether a fail-prone system admits a generalized quorum system.
+
+The decision procedure mirrors the construction used in the paper's lower-bound
+proof (Theorem 2).  For a failure pattern ``f`` the only real freedom in
+building a validating quorum pair is *which strongly connected component* of
+the residual graph ``G \\ f`` hosts the write quorum:
+
+* any ``f``-available write quorum lives inside a single SCC ``S`` of
+  ``G \\ f`` and can be enlarged to the whole of ``S``;
+* any read quorum from which that write quorum is reachable can be enlarged to
+  ``CanReach_f(S)``, the set of all (correct) vertices of ``G \\ f`` that can
+  reach ``S``.
+
+Enlarging quorums only helps Consistency, so a GQS exists **iff** one SCC
+``S_f`` can be chosen per pattern such that ``CanReach_f(S_f) ∩ S_g ≠ ∅`` for
+every ordered pair of patterns ``(f, g)``.  That choice problem is solved by
+backtracking with pairwise pruning; for the fail-prone systems in the paper and
+the experiments it is effectively instantaneous, and a (size-guarded)
+brute-force reference implementation is provided for cross-checking.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import NoQuorumSystemExistsError
+from ..failures import FailProneSystem, FailurePattern
+from ..graph import can_reach, strongly_connected_components
+from ..types import ProcessId, ProcessSet, sorted_processes
+from .generalized import GeneralizedQuorumSystem, is_f_available, is_f_reachable
+
+
+@dataclass(frozen=True)
+class CandidateQuorumPair:
+    """A candidate (read, write) quorum pair for one failure pattern.
+
+    ``write_quorum`` is a whole SCC of the residual graph; ``read_quorum`` is
+    the maximal set of residual-graph vertices that can reach it.
+    """
+
+    pattern: FailurePattern
+    write_quorum: ProcessSet
+    read_quorum: ProcessSet
+
+
+@dataclass
+class DiscoveryResult:
+    """Outcome of a GQS search over a fail-prone system."""
+
+    fail_prone: FailProneSystem
+    exists: bool
+    quorum_system: Optional[GeneralizedQuorumSystem] = None
+    choices: Dict[FailurePattern, CandidateQuorumPair] = field(default_factory=dict)
+    candidates_per_pattern: Dict[FailurePattern, int] = field(default_factory=dict)
+    nodes_explored: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.exists
+
+
+def candidate_pairs(
+    fail_prone: FailProneSystem, pattern: FailurePattern
+) -> List[CandidateQuorumPair]:
+    """Enumerate the canonical candidate quorum pairs for ``pattern``.
+
+    One candidate per strongly connected component of the residual graph,
+    ordered by decreasing read-quorum size (larger read quorums intersect more
+    write quorums, so trying them first speeds up the backtracking search).
+    """
+    residual = fail_prone.residual_graph(pattern)
+    candidates: List[CandidateQuorumPair] = []
+    for component in strongly_connected_components(residual):
+        if not component:
+            continue
+        readers = can_reach(residual, component)
+        candidates.append(
+            CandidateQuorumPair(pattern=pattern, write_quorum=component, read_quorum=readers)
+        )
+    candidates.sort(key=lambda c: (len(c.read_quorum), len(c.write_quorum)), reverse=True)
+    return candidates
+
+
+def _compatible(a: CandidateQuorumPair, b: CandidateQuorumPair) -> bool:
+    """Mutual Consistency between the candidates chosen for two patterns."""
+    return bool(a.read_quorum & b.write_quorum) and bool(b.read_quorum & a.write_quorum)
+
+
+def discover_gqs(fail_prone: FailProneSystem, validate: bool = True) -> DiscoveryResult:
+    """Search for a generalized quorum system over ``fail_prone``.
+
+    Returns a :class:`DiscoveryResult`; when a GQS exists, ``quorum_system``
+    holds the canonical witness built from the chosen per-pattern candidates.
+    """
+    patterns = list(fail_prone.patterns)
+    result = DiscoveryResult(fail_prone=fail_prone, exists=False)
+    per_pattern: List[List[CandidateQuorumPair]] = []
+    for f in patterns:
+        cands = candidate_pairs(fail_prone, f)
+        result.candidates_per_pattern[f] = len(cands)
+        if not cands:
+            return result
+        per_pattern.append(cands)
+
+    # Order patterns by increasing number of candidates (fail fast).
+    order = sorted(range(len(patterns)), key=lambda i: len(per_pattern[i]))
+    chosen: List[CandidateQuorumPair] = []
+
+    def backtrack(depth: int) -> bool:
+        if depth == len(order):
+            return True
+        for candidate in per_pattern[order[depth]]:
+            result.nodes_explored += 1
+            if all(_compatible(candidate, prev) for prev in chosen):
+                chosen.append(candidate)
+                if backtrack(depth + 1):
+                    return True
+                chosen.pop()
+        return False
+
+    if not backtrack(0):
+        return result
+
+    result.exists = True
+    result.choices = {c.pattern: c for c in chosen}
+    read_quorums = [c.read_quorum for c in chosen]
+    write_quorums = [c.write_quorum for c in chosen]
+    result.quorum_system = GeneralizedQuorumSystem(
+        fail_prone, read_quorums, write_quorums, validate=validate
+    )
+    return result
+
+
+def gqs_exists(fail_prone: FailProneSystem) -> bool:
+    """Return whether ``fail_prone`` admits a generalized quorum system."""
+    return discover_gqs(fail_prone, validate=False).exists
+
+
+def find_gqs(fail_prone: FailProneSystem) -> GeneralizedQuorumSystem:
+    """Return a GQS for ``fail_prone`` or raise :class:`NoQuorumSystemExistsError`."""
+    result = discover_gqs(fail_prone)
+    if not result.exists or result.quorum_system is None:
+        raise NoQuorumSystemExistsError(
+            "the fail-prone system {!r} admits no generalized quorum system".format(fail_prone)
+        )
+    return result.quorum_system
+
+
+def gqs_exists_bruteforce(fail_prone: FailProneSystem, max_processes: int = 5) -> bool:
+    """Reference (exponential) decision procedure used to cross-check the search.
+
+    For every failure pattern all availability-validating ``(R, W)`` pairs over
+    *arbitrary subsets* of the process set are enumerated; the procedure then
+    looks for one choice per pattern such that every chosen read quorum
+    intersects every chosen write quorum.  Guarded to small systems because the
+    candidate enumeration is exponential in ``n``.
+    """
+    processes = sorted_processes(fail_prone.processes)
+    if len(processes) > max_processes:
+        raise ValueError(
+            "brute-force check limited to {} processes (got {})".format(
+                max_processes, len(processes)
+            )
+        )
+    subsets: List[ProcessSet] = []
+    for size in range(1, len(processes) + 1):
+        subsets.extend(frozenset(c) for c in itertools.combinations(processes, size))
+
+    per_pattern: List[List[Tuple[ProcessSet, ProcessSet]]] = []
+    for f in fail_prone:
+        pairs = [
+            (r, w)
+            for w in subsets
+            if is_f_available(fail_prone, f, w)
+            for r in subsets
+            if is_f_reachable(fail_prone, f, w, r)
+        ]
+        if not pairs:
+            return False
+        per_pattern.append(pairs)
+
+    chosen: List[Tuple[ProcessSet, ProcessSet]] = []
+
+    def compatible(a: Tuple[ProcessSet, ProcessSet], b: Tuple[ProcessSet, ProcessSet]) -> bool:
+        return bool(a[0] & b[1]) and bool(b[0] & a[1]) and bool(a[0] & a[1]) and bool(b[0] & b[1])
+
+    def backtrack(i: int) -> bool:
+        if i == len(per_pattern):
+            return True
+        for pair in per_pattern[i]:
+            if all(compatible(pair, prev) for prev in chosen):
+                chosen.append(pair)
+                if backtrack(i + 1):
+                    return True
+                chosen.pop()
+        return False
+
+    return backtrack(0)
+
+
+def classify_fail_prone_system(fail_prone: FailProneSystem) -> Dict[str, bool]:
+    """Classify a fail-prone system by which quorum conditions it admits.
+
+    Returns a dictionary with keys ``"classical"`` (a classical quorum system of
+    all-correct quorums exists — only meaningful when the system has no channel
+    failures, otherwise reported via the GQS specialisation), ``"strong"``
+    (a QS+ with strongly connected availability exists) and ``"generalized"``
+    (a GQS exists).  Used by the admissibility experiments (E6).
+    """
+    from .strong import strong_system_exists
+
+    generalized = gqs_exists(fail_prone)
+    strong = strong_system_exists(fail_prone)
+    # A classical quorum system (Definition 1) additionally requires that the
+    # fail-prone system has no channel failures at all; when it does, the
+    # appropriate reading is "a quorum system of correct processes exists if we
+    # ignore connectivity", which is exactly strong-availability on the
+    # complete residual graph.  We report Definition 1 admissibility directly:
+    classical = (not fail_prone.allows_channel_failures()) and strong
+    return {"classical": classical, "strong": strong, "generalized": generalized}

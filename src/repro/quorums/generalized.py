@@ -1,0 +1,306 @@
+"""Generalized quorum systems (Definition 2) and the component ``U_f`` (Proposition 1).
+
+A generalized quorum system (GQS) ``(F, R, W)`` keeps the Consistency condition
+of classical quorum systems but weakens Availability: for every failure pattern
+``f`` there must exist a write quorum ``W`` that is
+
+* ``f``-*available* — all of ``W`` is correct under ``f`` and strongly
+  connected in the residual graph ``G \\ f``, and
+* ``f``-*reachable* from some read quorum ``R`` — all of ``R`` is correct and
+  every member of ``W`` can be reached from every member of ``R`` via a
+  directed path of correct channels.
+
+Crucially the read quorum need not be strongly connected, and reachability is
+only required in one direction (R → W).  The module also computes ``U_f``, the
+strongly connected component of ``G \\ f`` that contains every write quorum
+validating Availability for ``f`` (Proposition 1); ``U_f`` is exactly the set
+of processes at which the paper's protocols guarantee wait-freedom.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..errors import (
+    InvalidQuorumSystemError,
+    QuorumAvailabilityError,
+    QuorumConsistencyError,
+)
+from ..failures import FailProneSystem, FailurePattern
+from ..graph import (
+    DiGraph,
+    mutually_reachable,
+    reachable_from,
+    set_reaches_set,
+)
+from ..types import ProcessId, ProcessSet, sorted_processes
+from .classical import QuorumFamily, QuorumSystem, _normalise_family
+
+
+# ---------------------------------------------------------------------- #
+# The two availability predicates of §3
+# ---------------------------------------------------------------------- #
+def is_f_available(
+    fail_prone: FailProneSystem, pattern: FailurePattern, quorum: Iterable[ProcessId]
+) -> bool:
+    """Return whether ``quorum`` is ``f``-available under ``pattern``.
+
+    The quorum must contain only processes correct according to ``pattern`` and
+    be strongly connected (mutually reachable) in the residual graph.
+    """
+    q = frozenset(quorum)
+    if not q:
+        return False
+    correct = pattern.correct_processes(fail_prone.processes)
+    if not q <= correct:
+        return False
+    residual = fail_prone.residual_graph(pattern)
+    return mutually_reachable(residual, q)
+
+
+def is_f_reachable(
+    fail_prone: FailProneSystem,
+    pattern: FailurePattern,
+    write_quorum: Iterable[ProcessId],
+    read_quorum: Iterable[ProcessId],
+) -> bool:
+    """Return whether ``write_quorum`` is ``f``-reachable from ``read_quorum``.
+
+    Both quorums must contain only correct processes, and every member of the
+    write quorum must be reachable from every member of the read quorum via a
+    directed path in the residual graph.
+    """
+    w = frozenset(write_quorum)
+    r = frozenset(read_quorum)
+    if not w or not r:
+        return False
+    correct = pattern.correct_processes(fail_prone.processes)
+    if not (w <= correct and r <= correct):
+        return False
+    residual = fail_prone.residual_graph(pattern)
+    return set_reaches_set(residual, r, w)
+
+
+class GeneralizedQuorumSystem:
+    """A generalized quorum system ``(F, R, W)`` (Definition 2).
+
+    Parameters
+    ----------
+    fail_prone:
+        The fail-prone system ``F`` (may allow arbitrary process/channel
+        failure patterns).
+    read_quorums / write_quorums:
+        The families ``R`` and ``W``.
+    validate:
+        When true (default), Consistency and Availability are checked eagerly
+        and an :class:`~repro.errors.InvalidQuorumSystemError` subclass is
+        raised on violation.
+    """
+
+    def __init__(
+        self,
+        fail_prone: FailProneSystem,
+        read_quorums: Iterable[Iterable[ProcessId]],
+        write_quorums: Iterable[Iterable[ProcessId]],
+        validate: bool = True,
+    ) -> None:
+        self._fail_prone = fail_prone
+        self._read_quorums = _normalise_family(read_quorums)
+        self._write_quorums = _normalise_family(write_quorums)
+        for q in self._read_quorums + self._write_quorums:
+            unknown = q - fail_prone.processes
+            if unknown:
+                raise InvalidQuorumSystemError(
+                    "quorum {} references unknown processes {}".format(
+                        sorted_processes(q), sorted_processes(unknown)
+                    )
+                )
+        self._u_cache: Dict[FailurePattern, ProcessSet] = {}
+        if validate:
+            self.check()
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def fail_prone(self) -> FailProneSystem:
+        """The fail-prone system ``F``."""
+        return self._fail_prone
+
+    @property
+    def read_quorums(self) -> QuorumFamily:
+        """The read-quorum family ``R``."""
+        return self._read_quorums
+
+    @property
+    def write_quorums(self) -> QuorumFamily:
+        """The write-quorum family ``W``."""
+        return self._write_quorums
+
+    @property
+    def processes(self) -> ProcessSet:
+        """The process set ``P``."""
+        return self._fail_prone.processes
+
+    def __repr__(self) -> str:
+        return "GeneralizedQuorumSystem(n={}, |F|={}, |R|={}, |W|={})".format(
+            len(self.processes),
+            len(self._fail_prone),
+            len(self._read_quorums),
+            len(self._write_quorums),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Definition 2 predicates
+    # ------------------------------------------------------------------ #
+    def consistency_violations(self) -> List[Tuple[ProcessSet, ProcessSet]]:
+        """Return every ``(R, W)`` pair with an empty intersection."""
+        return [
+            (r, w)
+            for r in self._read_quorums
+            for w in self._write_quorums
+            if not (r & w)
+        ]
+
+    def is_consistent(self) -> bool:
+        """Return whether every read quorum intersects every write quorum."""
+        return not self.consistency_violations()
+
+    def available_pair(
+        self, pattern: FailurePattern
+    ) -> Optional[Tuple[ProcessSet, ProcessSet]]:
+        """Return a ``(read, write)`` pair validating Availability under ``pattern``.
+
+        The returned write quorum is ``pattern``-available and reachable from
+        the returned read quorum; ``None`` when no such pair exists.
+        """
+        for w in self._write_quorums:
+            if not is_f_available(self._fail_prone, pattern, w):
+                continue
+            for r in self._read_quorums:
+                if is_f_reachable(self._fail_prone, pattern, w, r):
+                    return r, w
+        return None
+
+    def is_available(self, pattern: FailurePattern) -> bool:
+        """Return whether Availability holds for ``pattern``."""
+        return self.available_pair(pattern) is not None
+
+    def availability_violations(self) -> List[FailurePattern]:
+        """Return the failure patterns for which Availability fails."""
+        return [f for f in self._fail_prone if not self.is_available(f)]
+
+    def check(self) -> None:
+        """Validate Definition 2, raising a descriptive error on violation."""
+        bad_pairs = self.consistency_violations()
+        if bad_pairs:
+            r, w = bad_pairs[0]
+            raise QuorumConsistencyError(
+                "read quorum {} does not intersect write quorum {}".format(
+                    sorted_processes(r), sorted_processes(w)
+                )
+            )
+        bad_patterns = self.availability_violations()
+        if bad_patterns:
+            raise QuorumAvailabilityError(
+                "no f-available write quorum reachable from a read quorum "
+                "under pattern {!r}".format(bad_patterns[0])
+            )
+
+    def is_valid(self) -> bool:
+        """Return whether the triple satisfies Definition 2."""
+        try:
+            self.check()
+        except InvalidQuorumSystemError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Proposition 1: the component U_f
+    # ------------------------------------------------------------------ #
+    def validating_write_quorums(self, pattern: FailurePattern) -> List[ProcessSet]:
+        """Write quorums that validate Availability with respect to ``pattern``.
+
+        These are the write quorums that are ``pattern``-available and
+        reachable from at least one read quorum.
+        """
+        result = []
+        for w in self._write_quorums:
+            if not is_f_available(self._fail_prone, pattern, w):
+                continue
+            if any(
+                is_f_reachable(self._fail_prone, pattern, w, r) for r in self._read_quorums
+            ):
+                result.append(w)
+        return result
+
+    def termination_component(self, pattern: FailurePattern) -> ProcessSet:
+        """The component ``U_f`` of Proposition 1 for ``pattern``.
+
+        ``U_f`` is the strongly connected component of the residual graph that
+        contains the union of all write quorums validating Availability for
+        ``pattern``.  It is the largest set of processes at which any
+        implementation can guarantee termination (Theorems 1 and 2).  Returns
+        the empty set when Availability does not hold for ``pattern`` (which
+        cannot happen for a valid GQS).
+        """
+        if pattern in self._u_cache:
+            return self._u_cache[pattern]
+        validating = self.validating_write_quorums(pattern)
+        union: FrozenSet[ProcessId] = frozenset().union(*validating) if validating else frozenset()
+        if not union:
+            self._u_cache[pattern] = frozenset()
+            return frozenset()
+        residual = self._fail_prone.residual_graph(pattern)
+        anchor = next(iter(union))
+        forward = reachable_from(residual, [anchor])
+        backward = frozenset(
+            v for v in residual.vertices if anchor in reachable_from(residual, [v])
+        )
+        component = frozenset(forward & backward)
+        # Sanity: Proposition 1 guarantees the union is inside one component.
+        if not union <= component:
+            raise InvalidQuorumSystemError(
+                "validating write quorums are not strongly connected under {!r}; "
+                "the quorum system violates Consistency or Availability".format(pattern)
+            )
+        self._u_cache[pattern] = component
+        return component
+
+    def termination_mapping(self) -> Dict[FailurePattern, ProcessSet]:
+        """The mapping ``τ : f ↦ U_f`` used by Theorems 1 and 5."""
+        return {f: self.termination_component(f) for f in self._fail_prone}
+
+    # ------------------------------------------------------------------ #
+    # Interoperability
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_classical(cls, system: QuorumSystem) -> "GeneralizedQuorumSystem":
+        """Lift a classical quorum system into a (trivially valid) GQS.
+
+        When the fail-prone system disallows channel failures between correct
+        processes, Definition 2 degenerates to Definition 1, so the same
+        quorum families work unchanged.
+        """
+        return cls(system.fail_prone, system.read_quorums, system.write_quorums)
+
+    def describe(self) -> str:
+        """Return a multi-line human-readable description of the GQS."""
+        lines = [repr(self)]
+        for i, f in enumerate(self._fail_prone):
+            pair = self.available_pair(f)
+            u = self.termination_component(f)
+            if pair is None:
+                lines.append("  [{}] {!r}: UNAVAILABLE".format(i, f))
+            else:
+                r, w = pair
+                lines.append(
+                    "  [{}] {!r}: R={}, W={}, U_f={}".format(
+                        i,
+                        f,
+                        sorted_processes(r),
+                        sorted_processes(w),
+                        sorted_processes(u),
+                    )
+                )
+        return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""JSON-friendly (de)serialization of failure models and quorum systems.
+
+The command-line tools and downstream users need a way to describe *their*
+deployment's failure assumptions in a file, feed it to the GQS decision
+procedure and store the witness.  The format is deliberately plain JSON:
+
+.. code-block:: json
+
+    {
+      "processes": ["a", "b", "c"],
+      "patterns": [
+        {"name": "partition",
+         "crash": [],
+         "disconnect": [["a", "c"], ["b", "c"], ["c", "b"]]},
+        {"name": "crash-b", "crash": ["b"], "disconnect": []}
+      ]
+    }
+
+Channels are ``[sender, receiver]`` pairs.  Quorum systems serialize to
+``{"read_quorums": [...], "write_quorums": [...]}`` plus the fail-prone system.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from .errors import ReproError
+from .failures import FailProneSystem, FailurePattern
+from .quorums import GeneralizedQuorumSystem
+from .types import sorted_channels, sorted_processes
+
+
+# ---------------------------------------------------------------------- #
+# Failure patterns and fail-prone systems
+# ---------------------------------------------------------------------- #
+def failure_pattern_to_dict(pattern: FailurePattern) -> Dict[str, Any]:
+    """Serialize a failure pattern to a JSON-compatible dictionary."""
+    return {
+        "name": pattern.name,
+        "crash": sorted_processes(pattern.crash_prone),
+        "disconnect": [list(channel) for channel in sorted_channels(pattern.disconnect_prone)],
+    }
+
+
+def failure_pattern_from_dict(data: Dict[str, Any]) -> FailurePattern:
+    """Deserialize a failure pattern from a dictionary."""
+    if not isinstance(data, dict):
+        raise ReproError("failure pattern must be an object, got {!r}".format(data))
+    crash = data.get("crash", [])
+    disconnect = [tuple(channel) for channel in data.get("disconnect", [])]
+    return FailurePattern(crash, disconnect, name=data.get("name"))
+
+
+def fail_prone_system_to_dict(system: FailProneSystem) -> Dict[str, Any]:
+    """Serialize a fail-prone system (complete network graph assumed)."""
+    return {
+        "name": system.name,
+        "processes": sorted_processes(system.processes),
+        "patterns": [failure_pattern_to_dict(pattern) for pattern in system.patterns],
+    }
+
+
+def fail_prone_system_from_dict(data: Dict[str, Any]) -> FailProneSystem:
+    """Deserialize a fail-prone system from a dictionary."""
+    if not isinstance(data, dict):
+        raise ReproError("fail-prone system must be an object, got {!r}".format(data))
+    if "processes" not in data:
+        raise ReproError("fail-prone system description must list 'processes'")
+    patterns = [failure_pattern_from_dict(entry) for entry in data.get("patterns", [])]
+    if not patterns:
+        patterns = [FailurePattern()]
+    return FailProneSystem(data["processes"], patterns, name=data.get("name"))
+
+
+# ---------------------------------------------------------------------- #
+# Generalized quorum systems
+# ---------------------------------------------------------------------- #
+def quorum_system_to_dict(quorum_system: GeneralizedQuorumSystem) -> Dict[str, Any]:
+    """Serialize a generalized quorum system (families + fail-prone system)."""
+    return {
+        "fail_prone": fail_prone_system_to_dict(quorum_system.fail_prone),
+        "read_quorums": [sorted_processes(q) for q in quorum_system.read_quorums],
+        "write_quorums": [sorted_processes(q) for q in quorum_system.write_quorums],
+    }
+
+
+def quorum_system_from_dict(data: Dict[str, Any], validate: bool = True) -> GeneralizedQuorumSystem:
+    """Deserialize a generalized quorum system from a dictionary."""
+    if not isinstance(data, dict):
+        raise ReproError("quorum system must be an object, got {!r}".format(data))
+    for key in ("fail_prone", "read_quorums", "write_quorums"):
+        if key not in data:
+            raise ReproError("quorum system description is missing {!r}".format(key))
+    fail_prone = fail_prone_system_from_dict(data["fail_prone"])
+    return GeneralizedQuorumSystem(
+        fail_prone, data["read_quorums"], data["write_quorums"], validate=validate
+    )
+
+
+# ---------------------------------------------------------------------- #
+# JSON file helpers
+# ---------------------------------------------------------------------- #
+def load_fail_prone_system(path: str) -> FailProneSystem:
+    """Load a fail-prone system from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return fail_prone_system_from_dict(json.load(handle))
+
+
+def save_fail_prone_system(system: FailProneSystem, path: str) -> None:
+    """Write a fail-prone system to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(fail_prone_system_to_dict(system), handle, indent=2, default=str)
+        handle.write("\n")
+
+
+def load_quorum_system(path: str, validate: bool = True) -> GeneralizedQuorumSystem:
+    """Load a generalized quorum system from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return quorum_system_from_dict(json.load(handle), validate=validate)
+
+
+def save_quorum_system(quorum_system: GeneralizedQuorumSystem, path: str) -> None:
+    """Write a generalized quorum system to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(quorum_system_to_dict(quorum_system), handle, indent=2, default=str)
+        handle.write("\n")

@@ -1,0 +1,25 @@
+"""Discrete-event simulation of the paper's asynchronous / partially synchronous network."""
+
+from .delays import DelayModel, FixedDelay, PartialSynchronyDelay, UniformDelay
+from .events import Event, EventScheduler
+from .network import Network, NetworkStats
+from .process import NOT_READY, OperationHandle, Process, RelayEnvelope, WaitCondition
+from .runtime import Cluster, DeferredInvocation
+
+__all__ = [
+    "Cluster",
+    "DeferredInvocation",
+    "DelayModel",
+    "Event",
+    "EventScheduler",
+    "FixedDelay",
+    "NOT_READY",
+    "Network",
+    "NetworkStats",
+    "OperationHandle",
+    "PartialSynchronyDelay",
+    "Process",
+    "RelayEnvelope",
+    "UniformDelay",
+    "WaitCondition",
+]

@@ -1,0 +1,112 @@
+"""Message-delay models.
+
+The simulator separates *which* messages are delivered (decided by channel and
+process failures in :mod:`repro.sim.network`) from *when* they are delivered,
+decided here.  Three models cover the paper's needs:
+
+* :class:`FixedDelay` — every message takes the same time; handy for
+  deterministic unit tests.
+* :class:`UniformDelay` — asynchronous executions: delays drawn uniformly from
+  ``[min_delay, max_delay]`` with a seeded RNG, modelling fair but arbitrary
+  scheduling.
+* :class:`PartialSynchronyDelay` — the Dwork–Lynch–Stockmeyer model used in §7:
+  before the global stabilization time (GST) delays are arbitrary (up to
+  ``pre_gst_max``), after GST every message is delivered within ``delta``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..types import Channel
+
+
+class DelayModel:
+    """Base class: maps a send event to a delivery latency."""
+
+    def delay(self, channel: Channel, send_time: float) -> float:
+        """Return the latency (in simulated time units) for a message.
+
+        Parameters
+        ----------
+        channel:
+            The ``(sender, receiver)`` pair, allowing per-channel behaviour.
+        send_time:
+            Simulated time at which the message was sent.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset any internal randomness so a simulation can be replayed."""
+
+
+class FixedDelay(DelayModel):
+    """Every message is delivered exactly ``latency`` time units after sending."""
+
+    def __init__(self, latency: float = 1.0) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.latency = latency
+
+    def delay(self, channel: Channel, send_time: float) -> float:
+        return self.latency
+
+
+class UniformDelay(DelayModel):
+    """Delays drawn uniformly at random from ``[min_delay, max_delay]``."""
+
+    def __init__(
+        self, min_delay: float = 0.5, max_delay: float = 2.0, seed: Optional[int] = 0
+    ) -> None:
+        if min_delay < 0 or max_delay < min_delay:
+            raise ValueError("need 0 <= min_delay <= max_delay")
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def delay(self, channel: Channel, send_time: float) -> float:
+        return self._rng.uniform(self.min_delay, self.max_delay)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class PartialSynchronyDelay(DelayModel):
+    """The partial-synchrony model of §7.
+
+    Messages sent before ``gst`` experience delays drawn uniformly from
+    ``[delta, pre_gst_max]`` (arbitrary but finite — correct channels are
+    reliable).  Messages sent at or after ``gst`` are delivered within
+    ``delta``.
+    """
+
+    def __init__(
+        self,
+        gst: float = 50.0,
+        delta: float = 1.0,
+        pre_gst_max: float = 20.0,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        if pre_gst_max < delta:
+            raise ValueError("pre_gst_max must be at least delta")
+        if gst < 0:
+            raise ValueError("gst must be non-negative")
+        self.gst = gst
+        self.delta = delta
+        self.pre_gst_max = pre_gst_max
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def delay(self, channel: Channel, send_time: float) -> float:
+        if send_time >= self.gst:
+            return self._rng.uniform(0.1 * self.delta, self.delta)
+        # Arbitrary (but finite) delay before GST.  A message sent just before
+        # GST may still arrive late, which is allowed by the model.
+        return self._rng.uniform(self.delta, self.pre_gst_max)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)

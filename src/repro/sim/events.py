@@ -1,0 +1,138 @@
+"""Discrete-event scheduler underpinning the network simulator.
+
+The scheduler maintains a priority queue of timed callbacks.  Ties are broken
+by insertion order, which makes runs fully deterministic for a fixed random
+seed of the delay model.  Simulated time is a float in arbitrary "time units";
+the protocols and experiments only rely on relative ordering and on the partial
+synchrony bound ``δ``, never on wall-clock meaning.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+class Event:
+    """A scheduled callback.  ``cancel()`` prevents it from firing."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: EventCallback) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Event(t={:.3f}, seq={}, cancelled={})".format(self.time, self.seq, self.cancelled)
+
+
+class EventScheduler:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._now = 0.0
+        self._counter = itertools.count()
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    def schedule_at(self, time: float, callback: EventCallback) -> Event:
+        """Schedule ``callback`` to run at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule an event in the past (now={}, requested={})".format(
+                    self._now, time
+                )
+            )
+        event = Event(time, next(self._counter), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(self, delay: float, callback: EventCallback) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative, got {}".format(delay))
+        return self.schedule_at(self._now + delay, callback)
+
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        max_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Run events in order until a stopping condition is met.
+
+        Stops when the queue empties, when simulated time would exceed
+        ``max_time``, when ``max_events`` events have been executed by this
+        call, or when ``stop_when()`` becomes true (checked after every event).
+        """
+        executed = 0
+        if stop_when is not None and stop_when():
+            return
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            # Peek to respect max_time without consuming the event.
+            next_event = self._queue[0]
+            if next_event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if max_time is not None and next_event.time > max_time:
+                self._now = max_time
+                return
+            if not self.step():
+                return
+            executed += 1
+            if stop_when is not None and stop_when():
+                return
+
+    def run_until(self, time: float) -> None:
+        """Run every event scheduled at or before ``time`` and advance to ``time``."""
+        self.run(max_time=time)
+        if self._now < time:
+            self._now = time

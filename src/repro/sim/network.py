@@ -1,0 +1,232 @@
+"""The simulated message-passing network.
+
+The network implements exactly the failure semantics of the paper's system
+model (§2):
+
+* processes communicate through **unidirectional channels**, one per ordered
+  pair of processes present in the network graph;
+* a **correct channel** is reliable: every message sent by a correct process is
+  eventually delivered (after a delay chosen by the :class:`DelayModel`);
+* a **faulty channel fails by disconnection**: from the moment it is
+  disconnected it drops every message sent through it;
+* a **crashed process** takes no further steps: it neither sends nor handles
+  messages or timers.
+
+Failure injection (:meth:`Network.disconnect_channel`,
+:meth:`Network.crash_process`, :meth:`Network.apply_failure_pattern`) may
+happen at any simulated time, so experiments can explore failures at start-up
+as well as mid-execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, TYPE_CHECKING
+
+from ..errors import SimulationError
+from ..failures import FailurePattern
+from ..graph import DiGraph
+from ..types import Channel, ProcessId
+from .delays import DelayModel, FixedDelay
+from .events import EventScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .process import Process
+
+
+@dataclass
+class NetworkStats:
+    """Counters describing the traffic seen by the network."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped_channel: int = 0
+    messages_dropped_crashed: int = 0
+    per_process_sent: Dict[ProcessId, int] = field(default_factory=dict)
+    per_process_delivered: Dict[ProcessId, int] = field(default_factory=dict)
+
+    def record_sent(self, sender: ProcessId) -> None:
+        self.messages_sent += 1
+        self.per_process_sent[sender] = self.per_process_sent.get(sender, 0) + 1
+
+    def record_delivered(self, receiver: ProcessId) -> None:
+        self.messages_delivered += 1
+        self.per_process_delivered[receiver] = self.per_process_delivered.get(receiver, 0) + 1
+
+
+class Network:
+    """A simulated asynchronous network of processes and unidirectional channels.
+
+    Parameters
+    ----------
+    graph:
+        The network graph; messages can only be sent along its edges.  Defaults
+        to the complete graph over the processes registered later.
+    delay_model:
+        The :class:`DelayModel` deciding message latencies.
+    scheduler:
+        An :class:`EventScheduler`; a fresh one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        graph: Optional[DiGraph] = None,
+        delay_model: Optional[DelayModel] = None,
+        scheduler: Optional[EventScheduler] = None,
+    ) -> None:
+        self.scheduler = scheduler if scheduler is not None else EventScheduler()
+        self.delay_model = delay_model if delay_model is not None else FixedDelay(1.0)
+        self._graph = graph
+        self._processes: Dict[ProcessId, "Process"] = {}
+        self._disconnected: Set[Channel] = set()
+        self._crashed: Set[ProcessId] = set()
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, process: "Process") -> None:
+        """Register a process with the network."""
+        if process.pid in self._processes:
+            raise SimulationError("process {!r} already registered".format(process.pid))
+        self._processes[process.pid] = process
+
+    @property
+    def processes(self) -> Dict[ProcessId, "Process"]:
+        """Mapping of process id to process object."""
+        return dict(self._processes)
+
+    @property
+    def process_ids(self) -> List[ProcessId]:
+        """Registered process identifiers, in registration order."""
+        return list(self._processes)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.scheduler.now
+
+    def graph(self) -> DiGraph:
+        """The network graph in force (complete graph when none was supplied)."""
+        if self._graph is not None:
+            return self._graph.copy()
+        return DiGraph.complete(self._processes)
+
+    # ------------------------------------------------------------------ #
+    # Failure injection
+    # ------------------------------------------------------------------ #
+    def disconnect_channel(self, channel: Channel) -> None:
+        """Disconnect ``channel``: every message sent through it from now on is dropped."""
+        self._disconnected.add((channel[0], channel[1]))
+
+    def reconnect_channel(self, channel: Channel) -> None:
+        """Undo a disconnection (used by exploratory experiments only)."""
+        self._disconnected.discard((channel[0], channel[1]))
+
+    def is_disconnected(self, channel: Channel) -> bool:
+        """Return whether ``channel`` is currently disconnected."""
+        return (channel[0], channel[1]) in self._disconnected
+
+    def crash_process(self, pid: ProcessId) -> None:
+        """Crash process ``pid``: it takes no further steps."""
+        if pid not in self._processes:
+            raise SimulationError("unknown process {!r}".format(pid))
+        self._crashed.add(pid)
+        self._processes[pid].notify_crashed()
+
+    def is_crashed(self, pid: ProcessId) -> bool:
+        """Return whether process ``pid`` has crashed."""
+        return pid in self._crashed
+
+    def correct_process_ids(self) -> List[ProcessId]:
+        """Identifiers of processes that have not crashed."""
+        return [p for p in self._processes if p not in self._crashed]
+
+    def apply_failure_pattern(
+        self,
+        pattern: FailurePattern,
+        crash_processes: bool = True,
+        at_time: Optional[float] = None,
+    ) -> None:
+        """Inject the failures allowed by ``pattern``.
+
+        All disconnect-prone channels are disconnected, all channels incident
+        to crash-prone processes are disconnected, and (when
+        ``crash_processes`` is true) the crash-prone processes are crashed.
+        When ``at_time`` is given the injection is scheduled for that simulated
+        time instead of happening immediately.
+        """
+
+        def inject() -> None:
+            for channel in pattern.disconnect_prone:
+                self.disconnect_channel(channel)
+            for pid in list(self._processes):
+                if pid in pattern.crash_prone:
+                    for other in self._processes:
+                        if other != pid:
+                            self.disconnect_channel((pid, other))
+                            self.disconnect_channel((other, pid))
+                    if crash_processes:
+                        self.crash_process(pid)
+
+        if at_time is None:
+            inject()
+        else:
+            self.scheduler.schedule_at(at_time, inject)
+
+    # ------------------------------------------------------------------ #
+    # Message transport
+    # ------------------------------------------------------------------ #
+    def send(self, sender: ProcessId, receiver: ProcessId, message: Any) -> None:
+        """Send ``message`` from ``sender`` to ``receiver``.
+
+        Messages to self are delivered immediately (same event) — a process can
+        always talk to itself.  Messages over disconnected channels or to/from
+        crashed processes are dropped, and the drop is counted in ``stats``.
+        """
+        if sender not in self._processes or receiver not in self._processes:
+            raise SimulationError(
+                "send between unknown processes {!r} -> {!r}".format(sender, receiver)
+            )
+        if sender in self._crashed:
+            # A crashed process takes no steps; sends from it are ignored.
+            self.stats.messages_dropped_crashed += 1
+            return
+        self.stats.record_sent(sender)
+        if sender == receiver:
+            self._deliver(sender, receiver, message)
+            return
+        if self._graph is not None and not self._graph.has_edge(sender, receiver):
+            self.stats.messages_dropped_channel += 1
+            return
+        if (sender, receiver) in self._disconnected:
+            self.stats.messages_dropped_channel += 1
+            return
+        latency = self.delay_model.delay((sender, receiver), self.scheduler.now)
+        self.scheduler.schedule(latency, lambda: self._deliver(sender, receiver, message))
+
+    def broadcast(self, sender: ProcessId, message: Any, include_self: bool = True) -> None:
+        """Send ``message`` from ``sender`` to every process (optionally itself)."""
+        for receiver in self._processes:
+            if receiver == sender and not include_self:
+                continue
+            self.send(sender, receiver, message)
+
+    def _deliver(self, sender: ProcessId, receiver: ProcessId, message: Any) -> None:
+        if receiver in self._crashed:
+            self.stats.messages_dropped_crashed += 1
+            return
+        self.stats.record_delivered(receiver)
+        self._processes[receiver].deliver(sender, message)
+
+    # ------------------------------------------------------------------ #
+    # Execution helpers
+    # ------------------------------------------------------------------ #
+    def run(self, max_time: Optional[float] = None, max_events: Optional[int] = None,
+            stop_when=None) -> None:
+        """Run the underlying scheduler (see :meth:`EventScheduler.run`)."""
+        self.scheduler.run(max_time=max_time, max_events=max_events, stop_when=stop_when)
+
+    def run_until(self, time: float) -> None:
+        """Run every event up to simulated time ``time``."""
+        self.scheduler.run_until(time)

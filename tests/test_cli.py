@@ -1,0 +1,106 @@
+"""Tests for the command-line interface (:mod:`repro.cli`)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_check_builtin_figure1(capsys):
+    status = main(["check", "--builtin", "figure1"])
+    output = capsys.readouterr().out
+    assert status == 0
+    assert "generalized quorum system exists" in output
+    assert "U_f" in output
+
+
+def test_check_builtin_modified_reports_impossibility(capsys):
+    status = main(["check", "--builtin", "figure1-modified"])
+    output = capsys.readouterr().out
+    assert status == 2
+    assert "NO generalized quorum system" in output
+
+
+def test_check_unknown_builtin(capsys):
+    status = main(["check", "--builtin", "does-not-exist"])
+    captured = capsys.readouterr()
+    assert status == 1
+    assert "unknown built-in" in captured.err
+
+
+def test_check_spec_file(tmp_path, capsys):
+    spec = {
+        "processes": ["a", "b", "c"],
+        "patterns": [
+            {"name": "partition", "crash": [], "disconnect": [["a", "c"], ["b", "c"], ["c", "b"]]},
+            {"name": "crash-b", "crash": ["b"], "disconnect": []},
+        ],
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    status = main(["check", "--spec", str(path)])
+    assert status == 0
+    assert "generalized quorum system exists" in capsys.readouterr().out
+
+
+def test_simulate_register_under_f1(capsys):
+    status = main(
+        ["simulate", "--builtin", "figure1", "--object", "register", "--pattern", "f1", "--ops", "1"]
+    )
+    output = capsys.readouterr().out
+    assert status == 0
+    assert "linearizable=True" in output
+    assert "all ops completed : True" in output
+
+
+def test_simulate_consensus_failure_free(capsys):
+    status = main(["simulate", "--builtin", "figure1", "--object", "consensus"])
+    output = capsys.readouterr().out
+    assert status == 0
+    assert "agreement+validity+termination=True" in output
+
+
+def test_simulate_unknown_pattern(capsys):
+    status = main(["simulate", "--builtin", "figure1", "--pattern", "nope"])
+    assert status == 1
+    assert "unknown pattern" in capsys.readouterr().out
+
+
+def test_simulate_on_intolerable_system(capsys):
+    status = main(["simulate", "--builtin", "figure1-modified"])
+    assert status == 2
+    assert "nothing to simulate" in capsys.readouterr().out.lower()
+
+
+def test_examples_command(capsys):
+    status = main(["examples"])
+    output = capsys.readouterr().out
+    assert status == 0
+    assert output.count("[ok ]") == 6
+
+
+def test_sweep_admissibility(capsys):
+    status = main(
+        ["sweep", "admissibility", "--probs", "0.0", "0.3", "--samples", "5", "--n", "4"]
+    )
+    output = capsys.readouterr().out
+    assert status == 0
+    assert "generalized (GQS)" in output
+
+
+def test_sweep_reliability(capsys):
+    status = main(["sweep", "reliability", "--probs", "0.0", "--samples", "10"])
+    output = capsys.readouterr().out
+    assert status == 0
+    assert "GQS availability" in output
+
+
+def test_check_with_repair_suggestions(capsys):
+    status = main(
+        ["check", "--builtin", "figure1-modified", "--suggest-repairs", "--max-repair-channels", "1"]
+    )
+    output = capsys.readouterr().out
+    assert status == 2
+    assert "Hardening any of the following channel sets" in output
+    assert "('a', 'b')" in output

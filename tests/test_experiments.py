@@ -1,0 +1,100 @@
+"""Tests for the experiment harnesses (workloads and tightness verification)."""
+
+import pytest
+
+from repro.checkers import check_register_linearizability
+from repro.experiments import (
+    compare_register_overhead,
+    run_consensus_workload,
+    run_lattice_workload,
+    run_paxos_baseline_workload,
+    run_register_workload,
+    run_snapshot_workload,
+    verify_pattern,
+    verify_tightness,
+)
+from repro.failures import FailProneSystem
+from repro.quorums import threshold_quorum_system
+
+
+def test_register_workload_reports_metrics(figure1_gqs):
+    result = run_register_workload(figure1_gqs, pattern=None, ops_per_process=1, seed=1)
+    assert result.completed
+    assert result.metrics.operations == len(figure1_gqs.processes)
+    assert result.metrics.completed == result.metrics.operations
+    assert result.metrics.mean_latency > 0
+    assert result.metrics.messages_sent > 0
+    assert result.metrics.completion_ratio == 1.0
+
+
+def test_register_workload_restricts_invokers_to_component(figure1_gqs):
+    f2 = figure1_gqs.fail_prone.patterns[1]
+    result = run_register_workload(figure1_gqs, pattern=f2, ops_per_process=1, seed=2)
+    assert set(result.extra["invokers"]) == set(figure1_gqs.termination_component(f2))
+
+
+def test_register_workload_explicit_invokers(figure1_gqs):
+    result = run_register_workload(
+        figure1_gqs, pattern=None, ops_per_process=1, invokers=["a"], seed=3
+    )
+    assert result.extra["invokers"] == ["a"]
+    assert result.metrics.operations == 1
+
+
+def test_overhead_comparison_shows_extra_messages(threshold_3_1):
+    runs = compare_register_overhead(threshold_3_1, ops_per_process=2, seed=4)
+    classical = runs["classical_abd"]
+    gqs = runs["gqs_register"]
+    assert classical.completed and gqs.completed
+    # The logical-clock machinery (CLOCK_REQ/RESP + periodic pushes) costs messages.
+    assert gqs.metrics.messages_sent > classical.metrics.messages_sent
+    assert bool(check_register_linearizability(classical.history, initial_value=0))
+    assert bool(check_register_linearizability(gqs.history, initial_value=0))
+
+
+def test_snapshot_and_lattice_workloads_complete(figure1_gqs):
+    snapshot = run_snapshot_workload(figure1_gqs, pattern=None, writes_per_process=1, seed=5)
+    lattice = run_lattice_workload(figure1_gqs, pattern=None, seed=5)
+    assert snapshot.completed and lattice.completed
+
+
+def test_consensus_workload_records_decisions(figure1_gqs):
+    result = run_consensus_workload(figure1_gqs, pattern=None, gst=10.0, seed=6)
+    assert result.completed
+    assert len(result.extra["decided_values"]) == 1
+
+
+def test_paxos_baseline_workload_failure_free(figure1_gqs):
+    result = run_paxos_baseline_workload(figure1_gqs, pattern=None, max_time=800.0, seed=7)
+    assert result.completed
+
+
+def test_verify_pattern_register_only(figure1_gqs):
+    f1 = figure1_gqs.fail_prone.patterns[0]
+    verdict = verify_pattern(figure1_gqs, f1, ops_per_process=2, seed=8)
+    assert verdict.register_live
+    assert verdict.register_linearizable
+    assert verdict.ok
+    assert verdict.snapshot_live is None
+
+
+def test_verify_tightness_for_figure1(figure1_system):
+    report = verify_tightness(figure1_system, ops_per_process=2, seed=9)
+    assert report.gqs_exists
+    assert len(report.verdicts) == 4
+    assert report.all_patterns_ok
+    table = report.to_table()
+    assert len(table.rows) == 4
+
+
+def test_verify_tightness_reports_non_existence(figure1_modified_system):
+    report = verify_tightness(figure1_modified_system)
+    assert not report.gqs_exists
+    assert report.verdicts == []
+
+
+def test_verify_tightness_classical_threshold():
+    system = FailProneSystem.crash_threshold(["a", "b", "c"], 1)
+    report = verify_tightness(system, ops_per_process=1, seed=10)
+    assert report.gqs_exists
+    assert report.all_patterns_ok

@@ -1,0 +1,116 @@
+"""Tests for fail-prone systems (:mod:`repro.failures.failprone`)."""
+
+import pytest
+
+from repro.errors import InvalidFailurePatternError
+from repro.failures import FailProneSystem, FailurePattern
+from repro.graph import DiGraph
+
+
+def test_construction_and_accessors():
+    f1 = FailurePattern(["c"], name="f1")
+    system = FailProneSystem(["a", "b", "c"], [f1], name="demo")
+    assert system.processes == frozenset({"a", "b", "c"})
+    assert len(system) == 1
+    assert f1 in system
+    assert list(system) == [f1]
+    assert "demo" in repr(system)
+
+
+def test_empty_process_set_rejected():
+    with pytest.raises(InvalidFailurePatternError):
+        FailProneSystem([], [FailurePattern()])
+
+
+def test_pattern_with_unknown_process_rejected():
+    with pytest.raises(InvalidFailurePatternError):
+        FailProneSystem(["a", "b"], [FailurePattern(["z"])])
+
+
+def test_pattern_with_unknown_channel_rejected():
+    with pytest.raises(InvalidFailurePatternError):
+        FailProneSystem(["a", "b"], [FailurePattern([], [("a", "z")])])
+
+
+def test_pattern_channel_must_exist_in_graph():
+    graph = DiGraph(vertices=["a", "b", "c"], edges=[("a", "b"), ("b", "a")])
+    with pytest.raises(InvalidFailurePatternError):
+        FailProneSystem(["a", "b", "c"], [FailurePattern([], [("a", "c")])], graph=graph)
+
+
+def test_residual_graph_and_correct_processes():
+    f = FailurePattern(["c"], [("a", "b")])
+    system = FailProneSystem(["a", "b", "c"], [f])
+    residual = system.residual_graph(f)
+    assert residual.vertex_set == frozenset({"a", "b"})
+    assert not residual.has_edge("a", "b")
+    assert residual.has_edge("b", "a")
+    assert system.correct_processes(f) == frozenset({"a", "b"})
+
+
+def test_allows_channel_failures():
+    crash_only = FailProneSystem(["a", "b"], [FailurePattern(["a"])])
+    with_channels = FailProneSystem(["a", "b"], [FailurePattern([], [("a", "b")])])
+    assert not crash_only.allows_channel_failures()
+    assert with_channels.allows_channel_failures()
+
+
+def test_crash_threshold_enumerates_maximal_patterns():
+    system = FailProneSystem.crash_threshold(["a", "b", "c", "d"], 2)
+    assert len(system) == 6  # C(4, 2)
+    assert all(len(f.crash_prone) == 2 for f in system)
+    assert not system.allows_channel_failures()
+
+
+def test_crash_threshold_rejects_bad_k():
+    with pytest.raises(ValueError):
+        FailProneSystem.crash_threshold(["a", "b"], -1)
+    with pytest.raises(ValueError):
+        FailProneSystem.crash_threshold(["a", "b"], 2)
+
+
+def test_crash_threshold_zero_is_failure_free():
+    system = FailProneSystem.crash_threshold(["a", "b"], 0)
+    assert len(system) == 1
+    assert list(system)[0].crash_prone == frozenset()
+
+
+def test_minority_crashes():
+    system = FailProneSystem.minority_crashes(["a", "b", "c", "d", "e"])
+    assert all(len(f.crash_prone) == 2 for f in system)
+    assert len(system) == 10
+
+
+def test_maximal_patterns_filters_subsumed():
+    small = FailurePattern(["a"], name="small")
+    big = FailurePattern(["a", "b"], name="big")
+    system = FailProneSystem(["a", "b", "c"], [small, big])
+    maximal = system.maximal_patterns()
+    assert maximal == (big,)
+
+
+def test_with_pattern_and_restrict():
+    f1 = FailurePattern(["a"], name="f1")
+    f2 = FailurePattern(["b"], name="f2")
+    system = FailProneSystem(["a", "b", "c"], [f1])
+    extended = system.with_pattern(f2)
+    assert len(extended) == 2
+    restricted = extended.restrict([f2])
+    assert list(restricted) == [f2]
+    # original untouched
+    assert len(system) == 1
+
+
+def test_describe_mentions_every_pattern():
+    f1 = FailurePattern(["a"], name="f1")
+    f2 = FailurePattern(["b"], name="f2")
+    system = FailProneSystem(["a", "b", "c"], [f1, f2], name="demo")
+    text = system.describe()
+    assert "f1" in text and "f2" in text and "demo" in text
+
+
+def test_graph_copy_is_defensive():
+    system = FailProneSystem(["a", "b"], [FailurePattern()])
+    graph = system.graph
+    graph.remove_vertex("a")
+    assert "a" in system.graph.vertices

@@ -1,0 +1,97 @@
+"""Tests for fail-prone-system generators (:mod:`repro.failures.generators`)."""
+
+import random
+
+import pytest
+
+from repro.failures import (
+    adversarial_partition_system,
+    all_crash_patterns,
+    geo_replicated_system,
+    random_fail_prone_system,
+    random_failure_pattern,
+    ring_unidirectional_system,
+)
+from repro.quorums import gqs_exists
+
+
+def test_random_failure_pattern_respects_max_crashes():
+    rng = random.Random(0)
+    pattern = random_failure_pattern(
+        ["p0", "p1", "p2", "p3"], rng, crash_prob=1.0, disconnect_prob=0.0, max_crashes=2
+    )
+    assert len(pattern.crash_prone) <= 2
+
+
+def test_random_failure_pattern_leaves_a_correct_process():
+    rng = random.Random(1)
+    pattern = random_failure_pattern(["p0", "p1"], rng, crash_prob=1.0, disconnect_prob=1.0)
+    assert len(pattern.crash_prone) <= 1
+
+
+def test_random_fail_prone_system_is_deterministic_for_seed():
+    first = random_fail_prone_system(n=4, num_patterns=3, seed=7)
+    second = random_fail_prone_system(n=4, num_patterns=3, seed=7)
+    assert first.patterns == second.patterns
+
+
+def test_random_fail_prone_system_shape():
+    system = random_fail_prone_system(n=5, num_patterns=4, seed=3)
+    assert len(system.processes) == 5
+    assert len(system) == 4
+
+
+def test_geo_replicated_system_structure():
+    system = geo_replicated_system(sites=3, replicas_per_site=2)
+    assert len(system.processes) == 6
+    # one pattern per ordered pair of distinct sites
+    assert len(system) == 6
+    for pattern in system:
+        assert not pattern.crash_prone
+        assert pattern.disconnect_prone
+
+
+def test_geo_replicated_partitions_are_one_directional():
+    system = geo_replicated_system(sites=2, replicas_per_site=1)
+    # With one replica per site, each pattern kills exactly the s_i -> s_j channels.
+    for pattern in system:
+        assert len(pattern.disconnect_prone) == 1
+
+
+def test_ring_system_admits_gqs():
+    system = ring_unidirectional_system(4)
+    assert len(system) == 4
+    assert len(system.processes) == 4
+    # Every pattern allows channel failures and the system admits a GQS.
+    assert all(f.disconnect_prone for f in system)
+    assert gqs_exists(system)
+
+
+def test_ring_system_scales_with_n():
+    for n in (3, 5, 6):
+        system = ring_unidirectional_system(n)
+        assert len(system) == n
+        assert gqs_exists(system), "ring(n={}) must admit a GQS".format(n)
+
+
+def test_ring_system_rejects_tiny_rings():
+    with pytest.raises(ValueError):
+        ring_unidirectional_system(2)
+
+
+def test_adversarial_partition_system_admits_gqs():
+    system = adversarial_partition_system(4)
+    assert len(system) == 3
+    assert all(not f.crash_prone for f in system)
+    assert gqs_exists(system)
+
+
+def test_adversarial_partition_rejects_single_process():
+    with pytest.raises(ValueError):
+        adversarial_partition_system(1)
+
+
+def test_all_crash_patterns():
+    patterns = all_crash_patterns(["a", "b", "c"], 2)
+    assert len(patterns) == 3
+    assert all(len(p.crash_prone) == 2 for p in patterns)

@@ -1,0 +1,97 @@
+"""Tests for failure patterns (:mod:`repro.failures.pattern`)."""
+
+import pytest
+
+from repro.errors import InvalidFailurePatternError
+from repro.failures import NO_FAILURES, FailurePattern
+from repro.graph import DiGraph
+
+
+def test_basic_pattern_accessors():
+    f = FailurePattern(["d"], [("a", "c"), ("b", "c")], name="f1")
+    assert f.crash_prone == frozenset({"d"})
+    assert ("a", "c") in f.disconnect_prone
+    assert f.name == "f1"
+
+
+def test_channel_incident_to_crash_prone_process_rejected():
+    with pytest.raises(InvalidFailurePatternError):
+        FailurePattern(["a"], [("a", "b")])
+    with pytest.raises(InvalidFailurePatternError):
+        FailurePattern(["b"], [("a", "b")])
+
+
+def test_self_loop_channel_rejected():
+    with pytest.raises(InvalidFailurePatternError):
+        FailurePattern([], [("a", "a")])
+
+
+def test_correct_processes():
+    f = FailurePattern(["b"])
+    assert f.correct_processes(["a", "b", "c"]) == frozenset({"a", "c"})
+
+
+def test_faulty_channel_includes_crash_incident_channels():
+    f = FailurePattern(["b"], [("a", "c")])
+    assert f.is_faulty_channel(("a", "b"))
+    assert f.is_faulty_channel(("b", "a"))
+    assert f.is_faulty_channel(("a", "c"))
+    assert not f.is_faulty_channel(("c", "a"))
+
+
+def test_residual_graph_removes_failures():
+    graph = DiGraph.complete(["a", "b", "c", "d"])
+    f = FailurePattern(["d"], [("a", "c")])
+    residual = f.residual_graph(graph)
+    assert not residual.has_vertex("d")
+    assert not residual.has_edge("a", "c")
+    assert residual.has_edge("c", "a")
+
+
+def test_faulty_and_correct_channels_partition_edges():
+    graph = DiGraph.complete(["a", "b", "c"])
+    f = FailurePattern(["c"], [("a", "b")])
+    faulty = f.faulty_channels(graph)
+    correct = f.correct_channels(graph)
+    assert faulty | correct == graph.edge_set()
+    assert not (faulty & correct)
+    assert ("b", "a") in correct
+
+
+def test_subsumption():
+    small = FailurePattern(["a"])
+    bigger = FailurePattern(["a", "b"])
+    with_channels = FailurePattern(["a"], [("b", "c")])
+    assert small.is_subsumed_by(bigger)
+    assert not bigger.is_subsumed_by(small)
+    assert small.is_subsumed_by(with_channels)
+    # Channel (b, c) failing is covered by b crashing in `bigger`.
+    assert with_channels.is_subsumed_by(bigger)
+
+
+def test_union_merges_failures_and_drops_covered_channels():
+    first = FailurePattern(["a"], [("b", "c")])
+    second = FailurePattern(["c"])
+    merged = first.union(second)
+    assert merged.crash_prone == frozenset({"a", "c"})
+    # (b, c) is incident to the now-crash-prone c, so it must not be listed.
+    assert ("b", "c") not in merged.disconnect_prone
+
+
+def test_equality_and_hash_ignore_name():
+    first = FailurePattern(["a"], [("b", "c")], name="x")
+    second = FailurePattern(["a"], [("b", "c")], name="y")
+    assert first == second
+    assert hash(first) == hash(second)
+
+
+def test_factories():
+    assert FailurePattern.crash_only(["a"]).disconnect_prone == frozenset()
+    assert NO_FAILURES.crash_prone == frozenset()
+    assert NO_FAILURES.disconnect_prone == frozenset()
+
+
+def test_repr_contains_name_and_members():
+    f = FailurePattern(["a"], [("b", "c")], name="f9")
+    text = repr(f)
+    assert "f9" in text and "a" in text and "b" in text

@@ -1,0 +1,107 @@
+"""Tests for the Monte Carlo admissibility and reliability studies."""
+
+import pytest
+
+from repro.montecarlo import (
+    admissibility_sweep,
+    admissibility_table,
+    estimate_reliability,
+    gqs_strictly_weaker_examples,
+    reliability_sweep,
+    reliability_table,
+    sample_fail_prone_system,
+)
+from repro.quorums import gqs_exists, strong_system_exists
+
+import random
+
+
+def test_sample_fail_prone_system_shape():
+    rng = random.Random(0)
+    system = sample_fail_prone_system(rng, n=4, num_patterns=3, crash_prob=0.2, disconnect_prob=0.3)
+    assert len(system.processes) == 4
+    assert len(system) == 3
+
+
+def test_admissibility_sweep_hierarchy_holds():
+    points = admissibility_sweep(
+        disconnect_probs=(0.0, 0.3), n=4, num_patterns=2, crash_prob=0.2, samples=20, seed=1
+    )
+    assert len(points) == 2
+    for point in points:
+        assert 0.0 <= point.classical_fraction <= point.strong_fraction <= 1.0
+        assert point.strong_fraction <= point.generalized_fraction <= 1.0
+
+
+def test_admissibility_without_channel_failures_everything_coincides():
+    points = admissibility_sweep(
+        disconnect_probs=(0.0,), n=4, num_patterns=2, crash_prob=0.2, samples=20, seed=2
+    )
+    point = points[0]
+    assert point.classical_fraction == point.strong_fraction == point.generalized_fraction
+
+
+def test_admissibility_gap_appears_with_channel_failures():
+    points = admissibility_sweep(
+        disconnect_probs=(0.5,), n=4, num_patterns=3, crash_prob=0.1, samples=60, seed=3
+    )
+    point = points[0]
+    # With heavy channel failures the GQS condition should admit strictly more
+    # systems than the classical (channel-failure-free) condition.
+    assert point.generalized_fraction > point.classical_fraction
+
+
+def test_admissibility_table_rendering():
+    points = admissibility_sweep(disconnect_probs=(0.2,), samples=5, n=4, num_patterns=2, seed=4)
+    table = admissibility_table(points)
+    assert "GQS" in table.to_text()
+    assert len(table.rows) == 1
+
+
+def test_gqs_strictly_weaker_witnesses_are_real():
+    witnesses = gqs_strictly_weaker_examples(n=5, num_patterns=3, samples=120, seed=2)
+    # The asymmetric-partition distribution regularly separates the conditions.
+    assert witnesses
+    for system in witnesses[:5]:
+        assert gqs_exists(system)
+        assert not strong_system_exists(system)
+
+
+def test_sample_asymmetric_partition_system_shape():
+    import random as _random
+
+    from repro.montecarlo import sample_asymmetric_partition_system
+
+    system = sample_asymmetric_partition_system(_random.Random(0), n=5, num_patterns=3)
+    assert len(system.processes) == 5
+    assert len(system) == 3
+    assert all(f.disconnect_prone for f in system)
+
+
+def test_reliability_estimates_ordering(figure1_gqs):
+    estimate = estimate_reliability(figure1_gqs, crash_prob=0.1, disconnect_prob=0.3, samples=80, seed=6)
+    assert 0.0 <= estimate.gqs_availability <= estimate.classical_availability <= 1.0
+    assert estimate.strong_availability <= estimate.gqs_availability
+
+
+def test_reliability_sweep_and_table(figure1_gqs):
+    estimates = reliability_sweep(
+        figure1_gqs, disconnect_probs=(0.0, 0.4), crash_prob=0.0, samples=40, seed=7
+    )
+    assert len(estimates) == 2
+    # With no failures at all, availability is total for every notion.
+    assert estimates[0].gqs_availability == 1.0
+    assert estimates[0].strong_availability == 1.0
+    table = reliability_table(estimates)
+    assert len(table.rows) == 2
+    assert "GQS availability" in table.columns
+
+
+def test_asymmetric_admissibility_sweep_table():
+    from repro.montecarlo import asymmetric_admissibility_sweep
+
+    table = asymmetric_admissibility_sweep(n_values=(4, 5), num_patterns=3, samples=20, seed=1)
+    assert len(table.rows) == 2
+    for row in table.rows:
+        assert row["strong (QS+)"] <= row["generalized (GQS)"] + 1e-9
+        assert 0.0 <= row["generalized (GQS)"] <= 1.0

@@ -1,0 +1,109 @@
+"""Tests for the GQS decision procedure (:mod:`repro.quorums.discovery`)."""
+
+import pytest
+
+from repro.errors import NoQuorumSystemExistsError
+from repro.failures import FailProneSystem, FailurePattern
+from repro.quorums import (
+    candidate_pairs,
+    classify_fail_prone_system,
+    discover_gqs,
+    find_gqs,
+    gqs_exists,
+    gqs_exists_bruteforce,
+)
+
+
+def test_figure1_discovery_finds_a_gqs(figure1_system):
+    result = discover_gqs(figure1_system)
+    assert result.exists
+    assert result.quorum_system is not None
+    assert result.quorum_system.is_valid()
+    # One candidate chosen per pattern.
+    assert set(result.choices) == set(figure1_system.patterns)
+
+
+def test_modified_figure1_has_no_gqs(figure1_modified_system):
+    result = discover_gqs(figure1_modified_system)
+    assert not result.exists
+    assert result.quorum_system is None
+    assert not gqs_exists(figure1_modified_system)
+
+
+def test_find_gqs_raises_when_none_exists(figure1_modified_system):
+    with pytest.raises(NoQuorumSystemExistsError):
+        find_gqs(figure1_modified_system)
+
+
+def test_find_gqs_returns_valid_witness(figure1_system):
+    gqs = find_gqs(figure1_system)
+    assert gqs.is_valid()
+
+
+def test_candidate_pairs_are_sccs_with_maximal_readers(figure1_system):
+    f1 = figure1_system.patterns[0]
+    candidates = candidate_pairs(figure1_system, f1)
+    write_quorums = {c.write_quorum for c in candidates}
+    # Residual graph under f1: a <-> b strongly connected, c a source.
+    assert frozenset({"a", "b"}) in write_quorums
+    assert frozenset({"c"}) in write_quorums
+    for candidate in candidates:
+        assert candidate.write_quorum <= candidate.read_quorum
+
+
+def test_discovery_matches_bruteforce_on_figure1(figure1_system, figure1_modified_system):
+    assert gqs_exists(figure1_system) == gqs_exists_bruteforce(figure1_system)
+    assert gqs_exists(figure1_modified_system) == gqs_exists_bruteforce(figure1_modified_system)
+
+
+def test_bruteforce_guard_on_large_systems():
+    system = FailProneSystem.crash_threshold(["p{}".format(i) for i in range(7)], 1)
+    with pytest.raises(ValueError):
+        gqs_exists_bruteforce(system, max_processes=5)
+
+
+def test_crash_only_threshold_always_admits_gqs():
+    for n, k in [(3, 1), (4, 1), (5, 2)]:
+        system = FailProneSystem.crash_threshold(["p{}".format(i) for i in range(n)], k)
+        assert gqs_exists(system)
+
+
+def test_crash_majority_has_no_quorum_system():
+    # With 2 of 3 processes allowed to crash, no quorum system of any kind exists
+    # (read and write quorums of correct processes cannot always intersect).
+    system = FailProneSystem.crash_threshold(["a", "b", "c"], 2)
+    assert not gqs_exists(system)
+    assert not gqs_exists_bruteforce(system)
+
+
+def test_single_failure_free_pattern_trivially_admits_gqs():
+    system = FailProneSystem(["a", "b"], [FailurePattern()])
+    result = discover_gqs(system)
+    assert result.exists
+    gqs = result.quorum_system
+    f = system.patterns[0]
+    assert gqs.termination_component(f) == frozenset({"a", "b"})
+
+
+def test_classify_fail_prone_system_orders_conditions(figure1_system):
+    verdict = classify_fail_prone_system(figure1_system)
+    assert verdict["generalized"] is True
+    assert verdict["strong"] is False
+    assert verdict["classical"] is False
+
+
+def test_classify_crash_only_system():
+    system = FailProneSystem.crash_threshold(["a", "b", "c"], 1)
+    verdict = classify_fail_prone_system(system)
+    assert verdict == {"classical": True, "strong": True, "generalized": True}
+
+
+def test_discovery_counts_candidates_and_nodes(figure1_system):
+    result = discover_gqs(figure1_system)
+    assert result.nodes_explored >= len(figure1_system.patterns)
+    assert all(count >= 1 for count in result.candidates_per_pattern.values())
+
+
+def test_discovery_result_bool(figure1_system, figure1_modified_system):
+    assert bool(discover_gqs(figure1_system))
+    assert not bool(discover_gqs(figure1_modified_system))

@@ -1,0 +1,77 @@
+"""Tests for the channel-repair suggestions (:mod:`repro.quorums.repair`)."""
+
+import pytest
+
+from repro.failures import FailProneSystem, FailurePattern
+from repro.quorums import gqs_exists
+from repro.quorums.repair import (
+    RepairReport,
+    harden_channels,
+    suggest_channel_repairs,
+)
+
+
+def test_harden_channels_removes_them_from_every_pattern(figure1_modified_system):
+    hardened = harden_channels(figure1_modified_system, [("a", "b")])
+    for pattern in hardened:
+        assert ("a", "b") not in pattern.disconnect_prone
+    # Other channels untouched.
+    assert any(("b", "c") in pattern.disconnect_prone for pattern in hardened)
+
+
+def test_harden_channels_does_not_unprotect_crashed_processes():
+    pattern = FailurePattern(["c"], [("a", "b")], name="f")
+    system = FailProneSystem(["a", "b", "c"], [pattern])
+    hardened = harden_channels(system, [("a", "b"), ("a", "c")])
+    f = hardened.patterns[0]
+    assert not f.disconnect_prone
+    # Channels to the crash-prone process are still considered faulty.
+    assert f.is_faulty_channel(("a", "c"))
+
+
+def test_already_tolerable_system_needs_no_repair(figure1_system):
+    report = suggest_channel_repairs(figure1_system)
+    assert report.already_tolerable
+    assert report.repairable
+    assert report.suggestions == []
+
+
+def test_example9_modified_system_repaired_by_hardening_ab(figure1_modified_system):
+    """Hardening the single channel (a, b) undoes Example 9's modification."""
+    assert not gqs_exists(figure1_modified_system)
+    report = suggest_channel_repairs(figure1_modified_system, max_channels=1)
+    assert report.repairable
+    repaired_channel_sets = [set(s.channels) for s in report.suggestions]
+    assert {("a", "b")} in repaired_channel_sets
+    for suggestion in report.suggestions:
+        assert gqs_exists(harden_channels(figure1_modified_system, list(suggestion.channels)))
+
+
+def test_suggestions_are_inclusion_minimal(figure1_modified_system):
+    report = suggest_channel_repairs(figure1_modified_system, max_channels=2)
+    suggestions = [s.channels for s in report.suggestions]
+    for first in suggestions:
+        for second in suggestions:
+            if first is not second:
+                assert not first < second
+
+
+def test_max_suggestions_limits_search(figure1_modified_system):
+    report = suggest_channel_repairs(figure1_modified_system, max_channels=2, max_suggestions=1)
+    assert len(report.suggestions) == 1
+
+
+def test_unrepairable_within_budget_reports_empty():
+    # Any two of three processes may crash: no channel hardening can help,
+    # because the problem is process failures, not connectivity.
+    system = FailProneSystem.crash_threshold(["a", "b", "c"], 2)
+    report = suggest_channel_repairs(system, max_channels=2)
+    assert not report.already_tolerable
+    assert not report.suggestions
+    assert not report.repairable
+
+
+def test_report_counts_candidates(figure1_modified_system):
+    report = suggest_channel_repairs(figure1_modified_system, max_channels=1)
+    assert report.candidates_considered >= 1
+    assert isinstance(report, RepairReport)

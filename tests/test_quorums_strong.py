@@ -1,0 +1,68 @@
+"""Tests for the QS+ baseline (:mod:`repro.quorums.strong`)."""
+
+import pytest
+
+from repro.errors import QuorumAvailabilityError, QuorumConsistencyError
+from repro.failures import FailProneSystem, FailurePattern
+from repro.quorums import StrongQuorumSystem, strong_system_exists, threshold_quorum_system
+
+
+def test_crash_only_threshold_admits_strong_system():
+    system = FailProneSystem.crash_threshold(["a", "b", "c"], 1)
+    assert strong_system_exists(system)
+
+
+def test_figure1_admits_no_strong_system(figure1_system):
+    """The Figure 1 system is the paper's witness that GQS is strictly weaker than QS+."""
+    assert not strong_system_exists(figure1_system)
+
+
+def test_modified_figure1_admits_no_strong_system(figure1_modified_system):
+    assert not strong_system_exists(figure1_modified_system)
+
+
+def test_strong_system_validation_happy_path():
+    classical = threshold_quorum_system(["a", "b", "c"], 1)
+    strong = StrongQuorumSystem(
+        classical.fail_prone, classical.read_quorums, classical.write_quorums
+    )
+    assert strong.is_valid()
+
+
+def test_strong_system_consistency_violation():
+    system = FailProneSystem(["a", "b", "c", "d"], [FailurePattern()])
+    with pytest.raises(QuorumConsistencyError):
+        StrongQuorumSystem(system, [{"a", "b"}], [{"c", "d"}])
+
+
+def test_strong_system_availability_requires_strong_connectivity(figure1_system):
+    """The Figure 1 quorums are a valid GQS but fail strong Availability under f1."""
+    read_quorums = [{"a", "c"}, {"b", "d"}]
+    write_quorums = [{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "a"}]
+    with pytest.raises(QuorumAvailabilityError):
+        StrongQuorumSystem(figure1_system, read_quorums, write_quorums)
+
+
+def test_strong_availability_per_pattern():
+    pattern = FailurePattern([], [("a", "b")], name="a-to-b-down")
+    system = FailProneSystem(["a", "b"], [pattern])
+    strong = StrongQuorumSystem(system, [{"a"}, {"b"}], [{"a"}, {"b"}], validate=False)
+    # Individually {a} and {b} are fine but {a} ∪ {b} spanning pairs are not needed:
+    # Availability holds because the pair ({a}, {a}) is strongly connected.
+    assert strong.is_available(pattern)
+
+
+def test_strong_system_exists_requires_some_component():
+    # Both processes isolated in both directions: residual SCCs are singletons,
+    # and the two patterns force two disjoint singletons -> no QS+.
+    p1 = FailurePattern(["a"], name="crash-a")
+    p2 = FailurePattern(["b"], name="crash-b")
+    system = FailProneSystem(["a", "b"], [p1, p2])
+    assert not strong_system_exists(system)
+
+
+def test_strong_system_exists_with_overlapping_components():
+    p1 = FailurePattern(["a"], name="crash-a")
+    p2 = FailurePattern(["c"], name="crash-c")
+    system = FailProneSystem(["a", "b", "c"], [p1, p2])
+    assert strong_system_exists(system)

@@ -1,0 +1,90 @@
+"""Tests for the JSON (de)serialization helpers."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serialization import (
+    fail_prone_system_from_dict,
+    fail_prone_system_to_dict,
+    failure_pattern_from_dict,
+    failure_pattern_to_dict,
+    load_fail_prone_system,
+    load_quorum_system,
+    quorum_system_from_dict,
+    quorum_system_to_dict,
+    save_fail_prone_system,
+    save_quorum_system,
+)
+from repro.failures import FailurePattern
+from repro.quorums import gqs_exists
+
+
+def test_failure_pattern_round_trip():
+    pattern = FailurePattern(["d"], [("a", "c"), ("b", "c")], name="f1")
+    data = failure_pattern_to_dict(pattern)
+    assert data["crash"] == ["d"]
+    assert ["a", "c"] in data["disconnect"]
+    restored = failure_pattern_from_dict(data)
+    assert restored == pattern
+    assert restored.name == "f1"
+
+
+def test_failure_pattern_from_bad_payload():
+    with pytest.raises(ReproError):
+        failure_pattern_from_dict(["not", "a", "dict"])
+
+
+def test_fail_prone_system_round_trip(figure1_system):
+    data = fail_prone_system_to_dict(figure1_system)
+    restored = fail_prone_system_from_dict(data)
+    assert restored.processes == figure1_system.processes
+    assert restored.patterns == figure1_system.patterns
+    assert gqs_exists(restored)
+
+
+def test_fail_prone_system_requires_processes():
+    with pytest.raises(ReproError):
+        fail_prone_system_from_dict({"patterns": []})
+    with pytest.raises(ReproError):
+        fail_prone_system_from_dict("not a dict")
+
+
+def test_fail_prone_system_defaults_to_failure_free_pattern():
+    system = fail_prone_system_from_dict({"processes": ["a", "b"]})
+    assert len(system) == 1
+    assert not system.patterns[0].crash_prone
+
+
+def test_quorum_system_round_trip(figure1_gqs):
+    data = quorum_system_to_dict(figure1_gqs)
+    restored = quorum_system_from_dict(data)
+    assert restored.is_valid()
+    assert set(restored.read_quorums) == set(figure1_gqs.read_quorums)
+    assert set(restored.write_quorums) == set(figure1_gqs.write_quorums)
+
+
+def test_quorum_system_from_dict_missing_keys():
+    with pytest.raises(ReproError):
+        quorum_system_from_dict({"read_quorums": []})
+    with pytest.raises(ReproError):
+        quorum_system_from_dict([1, 2, 3])
+
+
+def test_json_file_round_trip(tmp_path, figure1_system, figure1_gqs):
+    system_path = str(tmp_path / "system.json")
+    quorums_path = str(tmp_path / "quorums.json")
+    save_fail_prone_system(figure1_system, system_path)
+    save_quorum_system(figure1_gqs, quorums_path)
+
+    # Files are valid JSON.
+    with open(system_path) as handle:
+        json.load(handle)
+    with open(quorums_path) as handle:
+        json.load(handle)
+
+    restored_system = load_fail_prone_system(system_path)
+    restored_quorums = load_quorum_system(quorums_path)
+    assert restored_system.patterns == figure1_system.patterns
+    assert restored_quorums.is_valid()

@@ -1,0 +1,62 @@
+"""Tests for message delay models (:mod:`repro.sim.delays`)."""
+
+import pytest
+
+from repro.sim import FixedDelay, PartialSynchronyDelay, UniformDelay
+
+
+def test_fixed_delay_constant():
+    model = FixedDelay(2.5)
+    assert model.delay(("a", "b"), 0.0) == 2.5
+    assert model.delay(("b", "a"), 100.0) == 2.5
+
+
+def test_fixed_delay_rejects_negative():
+    with pytest.raises(ValueError):
+        FixedDelay(-1.0)
+
+
+def test_uniform_delay_within_bounds_and_deterministic():
+    model = UniformDelay(1.0, 3.0, seed=42)
+    values = [model.delay(("a", "b"), 0.0) for _ in range(50)]
+    assert all(1.0 <= v <= 3.0 for v in values)
+    model.reset()
+    replay = [model.delay(("a", "b"), 0.0) for _ in range(50)]
+    assert values == replay
+
+
+def test_uniform_delay_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        UniformDelay(3.0, 1.0)
+    with pytest.raises(ValueError):
+        UniformDelay(-1.0, 1.0)
+
+
+def test_partial_synchrony_respects_delta_after_gst():
+    model = PartialSynchronyDelay(gst=10.0, delta=1.0, pre_gst_max=20.0, seed=1)
+    post = [model.delay(("a", "b"), 10.0 + i) for i in range(50)]
+    assert all(v <= 1.0 for v in post)
+
+
+def test_partial_synchrony_pre_gst_can_exceed_delta():
+    model = PartialSynchronyDelay(gst=100.0, delta=1.0, pre_gst_max=20.0, seed=1)
+    pre = [model.delay(("a", "b"), float(i)) for i in range(50)]
+    assert all(1.0 <= v <= 20.0 for v in pre)
+    assert any(v > 1.0 for v in pre)
+
+
+def test_partial_synchrony_parameter_validation():
+    with pytest.raises(ValueError):
+        PartialSynchronyDelay(delta=0.0)
+    with pytest.raises(ValueError):
+        PartialSynchronyDelay(delta=2.0, pre_gst_max=1.0)
+    with pytest.raises(ValueError):
+        PartialSynchronyDelay(gst=-1.0)
+
+
+def test_partial_synchrony_reset_replays():
+    model = PartialSynchronyDelay(seed=7)
+    first = [model.delay(("a", "b"), 0.0) for _ in range(10)]
+    model.reset()
+    second = [model.delay(("a", "b"), 0.0) for _ in range(10)]
+    assert first == second

@@ -1,0 +1,106 @@
+"""Tests for the discrete-event scheduler (:mod:`repro.sim.events`)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventScheduler
+
+
+def test_events_run_in_time_order():
+    scheduler = EventScheduler()
+    order = []
+    scheduler.schedule(2.0, lambda: order.append("late"))
+    scheduler.schedule(1.0, lambda: order.append("early"))
+    scheduler.run()
+    assert order == ["early", "late"]
+    assert scheduler.now == pytest.approx(2.0)
+
+
+def test_ties_broken_by_insertion_order():
+    scheduler = EventScheduler()
+    order = []
+    scheduler.schedule(1.0, lambda: order.append("first"))
+    scheduler.schedule(1.0, lambda: order.append("second"))
+    scheduler.run()
+    assert order == ["first", "second"]
+
+
+def test_negative_delay_rejected():
+    scheduler = EventScheduler()
+    with pytest.raises(SimulationError):
+        scheduler.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_the_past_rejected():
+    scheduler = EventScheduler()
+    scheduler.schedule(5.0, lambda: None)
+    scheduler.run()
+    with pytest.raises(SimulationError):
+        scheduler.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    scheduler = EventScheduler()
+    fired = []
+    event = scheduler.schedule(1.0, lambda: fired.append(1))
+    event.cancel()
+    scheduler.run()
+    assert not fired
+    assert scheduler.events_processed == 0
+
+
+def test_events_can_schedule_more_events():
+    scheduler = EventScheduler()
+    seen = []
+
+    def first():
+        seen.append("first")
+        scheduler.schedule(1.0, lambda: seen.append("second"))
+
+    scheduler.schedule(1.0, first)
+    scheduler.run()
+    assert seen == ["first", "second"]
+    assert scheduler.now == pytest.approx(2.0)
+
+
+def test_run_respects_max_time():
+    scheduler = EventScheduler()
+    seen = []
+    scheduler.schedule(1.0, lambda: seen.append(1))
+    scheduler.schedule(10.0, lambda: seen.append(2))
+    scheduler.run(max_time=5.0)
+    assert seen == [1]
+    assert scheduler.now == pytest.approx(5.0)
+    assert scheduler.pending() == 1
+
+
+def test_run_respects_max_events():
+    scheduler = EventScheduler()
+    seen = []
+    for i in range(5):
+        scheduler.schedule(float(i + 1), lambda i=i: seen.append(i))
+    scheduler.run(max_events=2)
+    assert seen == [0, 1]
+
+
+def test_run_stop_when_predicate():
+    scheduler = EventScheduler()
+    seen = []
+    for i in range(5):
+        scheduler.schedule(float(i + 1), lambda i=i: seen.append(i))
+    scheduler.run(stop_when=lambda: len(seen) >= 3)
+    assert len(seen) == 3
+
+
+def test_run_until_advances_time_even_with_no_events():
+    scheduler = EventScheduler()
+    scheduler.run_until(42.0)
+    assert scheduler.now == pytest.approx(42.0)
+
+
+def test_events_processed_counter():
+    scheduler = EventScheduler()
+    for i in range(3):
+        scheduler.schedule(float(i), lambda: None)
+    scheduler.run()
+    assert scheduler.events_processed == 3

@@ -1,0 +1,161 @@
+"""Tests for the simulated network (:mod:`repro.sim.network`)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.failures import FailurePattern
+from repro.graph import DiGraph
+from repro.sim import FixedDelay, Network, Process
+
+
+class Recorder(Process):
+    """A process that records every message it receives."""
+
+    def __init__(self, pid, network):
+        super().__init__(pid, network)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((sender, message))
+
+
+def make_network(pids=("a", "b", "c"), graph=None):
+    network = Network(graph=graph, delay_model=FixedDelay(1.0))
+    processes = {pid: Recorder(pid, network) for pid in pids}
+    return network, processes
+
+
+def test_send_delivers_after_delay():
+    network, procs = make_network()
+    network.send("a", "b", "hello")
+    assert procs["b"].received == []
+    network.run()
+    assert procs["b"].received == [("a", "hello")]
+    assert network.now == pytest.approx(1.0)
+
+
+def test_send_to_self_is_immediate():
+    network, procs = make_network()
+    network.send("a", "a", "note")
+    assert procs["a"].received == [("a", "note")]
+
+
+def test_broadcast_reaches_everyone():
+    network, procs = make_network()
+    network.broadcast("a", "ping")
+    network.run()
+    assert ("a", "ping") in procs["a"].received
+    assert ("a", "ping") in procs["b"].received
+    assert ("a", "ping") in procs["c"].received
+
+
+def test_broadcast_exclude_self():
+    network, procs = make_network()
+    network.broadcast("a", "ping", include_self=False)
+    network.run()
+    assert procs["a"].received == []
+    assert procs["b"].received
+
+
+def test_disconnected_channel_drops_messages():
+    network, procs = make_network()
+    network.disconnect_channel(("a", "b"))
+    network.send("a", "b", "lost")
+    network.send("b", "a", "kept")
+    network.run()
+    assert procs["b"].received == []
+    assert procs["a"].received == [("b", "kept")]
+    assert network.stats.messages_dropped_channel == 1
+
+
+def test_reconnect_channel():
+    network, procs = make_network()
+    network.disconnect_channel(("a", "b"))
+    assert network.is_disconnected(("a", "b"))
+    network.reconnect_channel(("a", "b"))
+    network.send("a", "b", "back")
+    network.run()
+    assert procs["b"].received == [("a", "back")]
+
+
+def test_crashed_process_neither_sends_nor_receives():
+    network, procs = make_network()
+    network.crash_process("b")
+    network.send("a", "b", "to-crashed")
+    network.send("b", "a", "from-crashed")
+    network.run()
+    assert procs["b"].received == []
+    assert procs["a"].received == []
+    assert procs["b"].crashed
+    assert network.is_crashed("b")
+    assert network.correct_process_ids() == ["a", "c"]
+
+
+def test_crash_unknown_process_rejected():
+    network, _ = make_network()
+    with pytest.raises(SimulationError):
+        network.crash_process("zz")
+
+
+def test_send_between_unknown_processes_rejected():
+    network, _ = make_network()
+    with pytest.raises(SimulationError):
+        network.send("a", "zz", "x")
+
+
+def test_duplicate_registration_rejected():
+    network, _ = make_network()
+    with pytest.raises(SimulationError):
+        Recorder("a", network)
+
+
+def test_restricted_graph_blocks_missing_channels():
+    graph = DiGraph(vertices=["a", "b"], edges=[("a", "b")])
+    network, procs = make_network(pids=("a", "b"), graph=graph)
+    network.send("b", "a", "nope")
+    network.send("a", "b", "yes")
+    network.run()
+    assert procs["a"].received == []
+    assert procs["b"].received == [("a", "yes")]
+
+
+def test_apply_failure_pattern_disconnects_and_crashes():
+    network, procs = make_network(pids=("a", "b", "c", "d"))
+    pattern = FailurePattern(["d"], [("a", "c")], name="f")
+    network.apply_failure_pattern(pattern)
+    assert network.is_crashed("d")
+    assert network.is_disconnected(("a", "c"))
+    assert network.is_disconnected(("a", "d"))
+    assert network.is_disconnected(("d", "a"))
+    assert not network.is_disconnected(("c", "a"))
+
+
+def test_apply_failure_pattern_without_crashing():
+    network, procs = make_network(pids=("a", "b"))
+    pattern = FailurePattern(["b"])
+    network.apply_failure_pattern(pattern, crash_processes=False)
+    assert not network.is_crashed("b")
+    # Channels incident to the crash-prone process are still cut.
+    assert network.is_disconnected(("a", "b"))
+
+
+def test_apply_failure_pattern_at_time():
+    network, procs = make_network(pids=("a", "b"))
+    pattern = FailurePattern([], [("a", "b")])
+    network.apply_failure_pattern(pattern, at_time=5.0)
+    network.send("a", "b", "early")
+    network.run_until(3.0)
+    assert procs["b"].received == [("a", "early")]
+    network.run_until(6.0)
+    network.send("a", "b", "late")
+    network.run()
+    assert procs["b"].received == [("a", "early")]
+
+
+def test_stats_counters():
+    network, _ = make_network()
+    network.broadcast("a", "x")
+    network.run()
+    assert network.stats.messages_sent == 3
+    assert network.stats.messages_delivered == 3
+    assert network.stats.per_process_sent["a"] == 3

@@ -1,0 +1,117 @@
+"""Tests for the cluster orchestration layer (:mod:`repro.sim.runtime`)."""
+
+import pytest
+
+from repro.errors import OperationTimeoutError, SimulationError
+from repro.sim import Cluster, FixedDelay, Process
+
+
+class Counter(Process):
+    """Counts "inc" messages; supports a blocking wait for a target count."""
+
+    def __init__(self, pid, network):
+        super().__init__(pid, network)
+        self.count = 0
+
+    def on_message(self, sender, message):
+        if message == "inc":
+            self.count += 1
+
+    def bump_all(self):
+        def gen():
+            self.broadcast("inc")
+            yield self.wait_until(lambda: self.count >= 1, "self inc")
+            return self.count
+
+        return self.start_operation("bump_all", None, gen())
+
+    def wait_for_count(self, target):
+        def gen():
+            yield self.wait_until(lambda: self.count >= target, "count target")
+            return self.count
+
+        return self.start_operation("wait_for_count", target, gen())
+
+
+def counter_factory(pid, network):
+    return Counter(pid, network)
+
+
+def test_cluster_requires_processes():
+    with pytest.raises(SimulationError):
+        Cluster([], counter_factory)
+
+
+def test_invoke_and_run_until_done():
+    cluster = Cluster(["a", "b", "c"], counter_factory, delay_model=FixedDelay(1.0))
+    handle = cluster.invoke("a", "bump_all")
+    assert cluster.run_until_done([handle], max_time=100.0)
+    assert handle.done
+    assert handle.result >= 1
+
+
+def test_invoke_requires_operation_handle():
+    class Bad(Process):
+        def not_an_operation(self):
+            return 42
+
+    cluster = Cluster(["a"], lambda pid, net: Bad(pid, net))
+    with pytest.raises(SimulationError):
+        cluster.invoke("a", "not_an_operation")
+
+
+def test_run_until_done_timeout_reports_false():
+    cluster = Cluster(["a", "b"], counter_factory, delay_model=FixedDelay(1.0))
+    handle = cluster.invoke("a", "wait_for_count", 100)
+    assert not cluster.run_until_done([handle], max_time=10.0)
+    assert not handle.done
+
+
+def test_run_until_done_can_raise_on_timeout():
+    cluster = Cluster(["a", "b"], counter_factory, delay_model=FixedDelay(1.0))
+    handle = cluster.invoke("a", "wait_for_count", 100)
+    with pytest.raises(OperationTimeoutError):
+        cluster.run_until_done([handle], max_time=10.0, require_completion=True)
+
+
+def test_invoke_at_defers_invocation():
+    cluster = Cluster(["a", "b"], counter_factory, delay_model=FixedDelay(1.0))
+    deferred = cluster.invoke_at(5.0, "a", "bump_all")
+    cluster.run(max_time=2.0)
+    assert deferred.handle is None
+    assert not deferred.done
+    cluster.run(max_time=20.0)
+    assert deferred.done
+    assert deferred.result >= 1
+
+
+def test_history_collects_tracked_handles():
+    cluster = Cluster(["a", "b"], counter_factory, delay_model=FixedDelay(1.0))
+    cluster.invoke("a", "bump_all")
+    cluster.invoke("b", "bump_all")
+    cluster.run_until_done(max_time=50.0)
+    history = cluster.history()
+    assert len(history) == 2
+    assert all(record.is_complete for record in history)
+
+
+def test_message_counters_exposed():
+    cluster = Cluster(["a", "b", "c"], counter_factory, delay_model=FixedDelay(1.0))
+    cluster.invoke("a", "bump_all")
+    cluster.run_until_done(max_time=50.0)
+    # Drain the remaining in-flight deliveries before counting.
+    cluster.run(max_time=50.0)
+    assert cluster.messages_sent() >= 3
+    assert cluster.messages_delivered() >= 3
+    assert cluster.now > 0.0
+
+
+def test_apply_failure_pattern_via_cluster():
+    from repro.failures import FailurePattern
+
+    cluster = Cluster(["a", "b"], counter_factory, delay_model=FixedDelay(1.0))
+    cluster.apply_failure_pattern(FailurePattern(["b"]))
+    assert cluster.network.is_crashed("b")
+    handle = cluster.invoke("a", "bump_all")
+    cluster.run_until_done([handle], max_time=20.0)
+    assert handle.done
