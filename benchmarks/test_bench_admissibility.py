@@ -11,6 +11,8 @@ of the *fixed* Figure 1 quorums under i.i.d. failures.
 
 from __future__ import annotations
 
+import os
+
 from repro.montecarlo import (
     admissibility_sweep,
     admissibility_table,
@@ -21,6 +23,11 @@ from repro.montecarlo import (
 from conftest import bench_once
 
 DISCONNECT_PROBS = (0.0, 0.1, 0.2, 0.3, 0.5)
+
+# Worker processes for the Monte Carlo harnesses; the engine guarantees the
+# measured tables are identical for every value, so raising this only changes
+# the timing (e.g. REPRO_BENCH_JOBS=4 python -m pytest benchmarks/).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def test_e6_admissibility_sweep(benchmark):
@@ -34,6 +41,7 @@ def test_e6_admissibility_sweep(benchmark):
         40,     # samples per point
         None,   # max_crashes
         0,      # seed
+        jobs=BENCH_JOBS,
     )
     print()
     print(admissibility_table(points))
@@ -53,6 +61,7 @@ def test_e6_reliability_of_figure1_quorums(benchmark, figure1_gqs):
         0.1,    # crash probability
         150,    # samples
         1,      # seed
+        jobs=BENCH_JOBS,
     )
     print()
     print(reliability_table(estimates))

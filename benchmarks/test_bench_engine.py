@@ -1,0 +1,69 @@
+"""Engine — serial vs. parallel execution of the Monte Carlo sweeps.
+
+The parallel experiment engine (:mod:`repro.engine`) shards sample budgets
+across worker processes with deterministic per-shard seeds.  These harnesses
+measure the sharded execution path and pin down its core contract on real
+workloads: the merged tables produced with ``jobs=1`` (serial in-process
+fallback) and ``jobs=2`` (multiprocessing pool) are byte-identical.  On
+multi-core machines the parallel run is also the faster one; on single-core
+CI the benchmark still validates determinism.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figure1_quorum_system
+from repro.montecarlo import (
+    admissibility_sweep,
+    admissibility_table,
+    reliability_sweep,
+    reliability_table,
+)
+
+from conftest import bench_once
+
+DISCONNECT_PROBS = (0.0, 0.2, 0.5)
+SAMPLES = 32
+SEED = 7
+
+
+def test_engine_admissibility_parallel_matches_serial(benchmark):
+    serial = admissibility_table(
+        admissibility_sweep(
+            disconnect_probs=DISCONNECT_PROBS, samples=SAMPLES, seed=SEED, jobs=1
+        )
+    ).to_text()
+
+    points = bench_once(
+        benchmark,
+        admissibility_sweep,
+        disconnect_probs=DISCONNECT_PROBS,
+        samples=SAMPLES,
+        seed=SEED,
+        jobs=2,
+    )
+    parallel = admissibility_table(points).to_text()
+    print()
+    print(parallel)
+    assert parallel == serial
+
+
+def test_engine_reliability_parallel_matches_serial(benchmark, figure1_gqs):
+    serial = reliability_table(
+        reliability_sweep(
+            figure1_gqs, disconnect_probs=DISCONNECT_PROBS, samples=SAMPLES, seed=SEED, jobs=1
+        )
+    ).to_text()
+
+    estimates = bench_once(
+        benchmark,
+        reliability_sweep,
+        figure1_gqs,
+        disconnect_probs=DISCONNECT_PROBS,
+        samples=SAMPLES,
+        seed=SEED,
+        jobs=2,
+    )
+    parallel = reliability_table(estimates).to_text()
+    print()
+    print(parallel)
+    assert parallel == serial

@@ -10,6 +10,8 @@ as such (the lower bound says no implementation can exist).
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis import (
     ResultTable,
     figure1_fail_prone_system,
@@ -19,6 +21,10 @@ from repro.experiments import verify_tightness
 from repro.failures import FailProneSystem, adversarial_partition_system, ring_unidirectional_system
 
 from conftest import bench_once
+
+# Worker processes for the per-pattern verification loop; the report is
+# identical for every value (per-pattern seeding is independent of jobs).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def test_e8_tightness_on_figure1(benchmark):
@@ -30,6 +36,7 @@ def test_e8_tightness_on_figure1(benchmark):
         True,   # include snapshot
         True,   # include lattice agreement
         0,      # seed
+        jobs=BENCH_JOBS,
     )
     print()
     print(report.to_table())
@@ -49,7 +56,7 @@ def test_e8_tightness_across_fail_prone_systems(benchmark):
     def experiment():
         rows = []
         for name, system in systems:
-            report = verify_tightness(system, ops_per_process=1, seed=3)
+            report = verify_tightness(system, ops_per_process=1, seed=3, jobs=BENCH_JOBS)
             rows.append(
                 {
                     "system": name,

@@ -1,5 +1,22 @@
-"""Setuptools entry point (kept for offline/legacy editable installs)."""
+"""Setuptools packaging for the ``repro`` library.
 
-from setuptools import setup
+``pip install -e .`` makes ``import repro`` and ``python -m repro`` work
+without the ``PYTHONPATH=src`` workaround; the package layout is the standard
+src-layout, declared explicitly below so offline/legacy editable installs keep
+working too.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-gqs",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Generalized Quorum Systems' (PODC 2025): failure "
+        "model, GQS decision procedure, protocol simulation, and parallel "
+        "Monte Carlo studies."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+)

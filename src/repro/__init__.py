@@ -15,7 +15,8 @@ everything the PODC 2025 paper describes:
   (:mod:`repro.protocols`);
 * linearizability and specification checkers (:mod:`repro.checkers`);
 * Monte Carlo admissibility/reliability studies and experiment harnesses
-  (:mod:`repro.montecarlo`, :mod:`repro.experiments`).
+  (:mod:`repro.montecarlo`, :mod:`repro.experiments`), executed by a parallel
+  experiment engine with deterministic sharded seeding (:mod:`repro.engine`).
 
 Quickstart::
 
@@ -29,6 +30,7 @@ Quickstart::
 from . import (
     analysis,
     checkers,
+    engine,
     experiments,
     failures,
     graph,

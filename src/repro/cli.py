@@ -15,6 +15,9 @@ Four commands cover the workflows a practitioner needs:
 ``sweep``
     Run the Monte Carlo studies (admissibility of quorum conditions,
     availability of the Figure 1 quorums) and print the result tables.
+    ``--jobs N`` shards the sample budgets across worker processes via
+    :mod:`repro.engine`; a sweep's output depends only on ``--seed``, never
+    on the job count.
 
 ``examples``
     Replay the paper's worked examples (Examples 4-9) and report which hold.
@@ -27,8 +30,9 @@ Built-in fail-prone systems: ``figure1``, ``figure1-modified``,
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .analysis import (
     figure1_fail_prone_system,
@@ -41,6 +45,7 @@ from .checkers import (
     check_register_linearizability,
     check_snapshot_linearizability,
 )
+from .engine import ParallelRunner, spawn_seeds
 from .errors import ReproError
 from .experiments import (
     run_consensus_workload,
@@ -58,6 +63,17 @@ from .montecarlo import admissibility_sweep, admissibility_table, reliability_sw
 from .quorums import discover_gqs
 from .serialization import load_fail_prone_system
 from .types import sorted_processes
+
+
+def _jobs_value(text: str) -> int:
+    """argparse type for ``--jobs``: non-negative int, 0 meaning one per CPU."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected an integer, got {!r}".format(text))
+    if value < 0:
+        raise argparse.ArgumentTypeError("jobs must be non-negative (0 means one per CPU)")
+    return value
 
 
 def _builtin_system(name: str) -> FailProneSystem:
@@ -133,6 +149,53 @@ def cmd_check(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------- #
 # simulate
 # ---------------------------------------------------------------------- #
+def _safety_label(object_kind: str, verdict: bool) -> str:
+    """Human-readable safety verdict line for one simulated object kind."""
+    if object_kind in ("register", "snapshot"):
+        return "linearizable={}".format(verdict)
+    if object_kind == "lattice":
+        return "lattice-agreement-properties={}".format(verdict)
+    if object_kind == "consensus":
+        return "agreement+validity+termination={}".format(verdict)
+    return "baseline (no safety check applied)"
+
+
+def _simulate_once(gqs, object_kind: str, pattern, ops: int, seed: int) -> Dict[str, Any]:
+    """Run one seeded protocol simulation; returns a picklable summary.
+
+    Module-level so ``simulate --runs N --jobs M`` can fan seeded repetitions
+    out across worker processes.
+    """
+    if object_kind == "register":
+        run = run_register_workload(gqs, pattern=pattern, ops_per_process=ops, seed=seed)
+        verdict = bool(check_register_linearizability(run.history, initial_value=0))
+    elif object_kind == "snapshot":
+        run = run_snapshot_workload(gqs, pattern=pattern, writes_per_process=1, seed=seed)
+        verdict = bool(
+            check_snapshot_linearizability(
+                run.history, segment_ids=sorted_processes(gqs.processes), initial_value=None
+            )
+        )
+    elif object_kind == "lattice":
+        run = run_lattice_workload(gqs, pattern=pattern, seed=seed)
+        verdict = check_lattice_agreement(run.history).ok
+    elif object_kind == "consensus":
+        run = run_consensus_workload(gqs, pattern=pattern, seed=seed)
+        required = gqs.termination_component(pattern) if pattern is not None else gqs.processes
+        verdict = check_consensus(run.history, required_to_terminate=required).ok
+    else:  # paxos baseline
+        run = run_paxos_baseline_workload(gqs, pattern=pattern, seed=seed)
+        verdict = True
+    return {
+        "completed": run.completed,
+        "verdict": bool(verdict),
+        "invokers": run.extra.get("invokers"),
+        "mean_latency": run.metrics.mean_latency,
+        "max_latency": run.metrics.max_latency,
+        "messages_sent": run.metrics.messages_sent,
+    }
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     system = _resolve_system(args)
     result = discover_gqs(system)
@@ -153,46 +216,57 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             return 1
         pattern = matches[0]
 
-    if args.object == "register":
-        run = run_register_workload(gqs, pattern=pattern, ops_per_process=args.ops, seed=args.seed)
-        verdict = bool(check_register_linearizability(run.history, initial_value=0))
-        safety = "linearizable={}".format(verdict)
-    elif args.object == "snapshot":
-        run = run_snapshot_workload(gqs, pattern=pattern, writes_per_process=1, seed=args.seed)
-        verdict = bool(
-            check_snapshot_linearizability(
-                run.history, segment_ids=sorted_processes(gqs.processes), initial_value=None
-            )
-        )
-        safety = "linearizable={}".format(verdict)
-    elif args.object == "lattice":
-        run = run_lattice_workload(gqs, pattern=pattern, seed=args.seed)
-        verdict = check_lattice_agreement(run.history).ok
-        safety = "lattice-agreement-properties={}".format(verdict)
-    elif args.object == "consensus":
-        run = run_consensus_workload(gqs, pattern=pattern, seed=args.seed)
-        required = gqs.termination_component(pattern) if pattern is not None else gqs.processes
-        verdict = check_consensus(run.history, required_to_terminate=required).ok
-        safety = "agreement+validity+termination={}".format(verdict)
-    else:  # paxos baseline
-        run = run_paxos_baseline_workload(gqs, pattern=pattern, seed=args.seed)
-        verdict = True
-        safety = "baseline (no safety check applied)"
+    runs = max(1, args.runs)
+    if runs == 1:
+        outcome = _simulate_once(gqs, args.object, pattern, args.ops, args.seed)
+        print("object            :", args.object)
+        print("failure pattern   :", pattern.name if pattern is not None else "none")
+        print("invoked at        :", outcome["invokers"])
+        print("all ops completed :", outcome["completed"])
+        print("safety            :", _safety_label(args.object, outcome["verdict"]))
+        print("mean latency      : {:.2f}".format(outcome["mean_latency"]))
+        print("max latency       : {:.2f}".format(outcome["max_latency"]))
+        print("messages sent     :", outcome["messages_sent"])
+        ok = outcome["completed"] and outcome["verdict"]
+        return 0 if ok or args.object == "paxos" else 1
 
+    # Repeated seeded runs: seeds are spawned deterministically from --seed, so
+    # the aggregate depends only on (--seed, --runs), never on --jobs.
+    seeds = spawn_seeds(args.seed, runs, "simulate", args.object)
+    runner = ParallelRunner(jobs=args.jobs)
+    task = functools.partial(_simulate_once, gqs, args.object, pattern, args.ops)
+    outcomes = runner.map(task, seeds)
+
+    completed_runs = sum(1 for o in outcomes if o["completed"])
+    safe_runs = sum(1 for o in outcomes if o["verdict"])
+    all_completed = completed_runs == runs
+    all_safe = safe_runs == runs
     print("object            :", args.object)
     print("failure pattern   :", pattern.name if pattern is not None else "none")
-    print("invoked at        :", run.extra.get("invokers"))
-    print("all ops completed :", run.completed)
-    print("safety            :", safety)
-    print("mean latency      : {:.2f}".format(run.metrics.mean_latency))
-    print("max latency       : {:.2f}".format(run.metrics.max_latency))
-    print("messages sent     :", run.metrics.messages_sent)
-    return 0 if (run.completed and verdict) or args.object == "paxos" else 1
+    print("runs              : {} (seeds spawned from {}, jobs={})".format(runs, args.seed, runner.jobs))
+    print("all ops completed : {} ({}/{} runs)".format(all_completed, completed_runs, runs))
+    print("safety            : {} ({}/{} runs)".format(_safety_label(args.object, all_safe), safe_runs, runs))
+    print("mean latency      : {:.2f} (avg over runs)".format(
+        sum(o["mean_latency"] for o in outcomes) / runs
+    ))
+    print("max latency       : {:.2f} (max over runs)".format(
+        max(o["max_latency"] for o in outcomes)
+    ))
+    print("messages sent     : {} (total)".format(sum(o["messages_sent"] for o in outcomes)))
+    return 0 if (all_completed and all_safe) or args.object == "paxos" else 1
 
 
 # ---------------------------------------------------------------------- #
 # sweep
 # ---------------------------------------------------------------------- #
+def _stderr_progress(label: str, done: int, total: int) -> None:
+    """Chunked shard-progress line for long sweeps (stderr, overwritten in place)."""
+    sys.stderr.write("\r{}: {}/{} shards".format(label, done, total))
+    if done >= total:
+        sys.stderr.write("\n")
+    sys.stderr.flush()
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     if args.kind in ("admissibility", "all"):
         points = admissibility_sweep(
@@ -201,6 +275,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             num_patterns=args.patterns,
             samples=args.samples,
             seed=args.seed,
+            jobs=args.jobs,
+            progress=functools.partial(_stderr_progress, "admissibility")
+            if args.progress
+            else None,
         )
         print(admissibility_table(points))
         print()
@@ -212,6 +290,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             disconnect_probs=tuple(args.probs),
             samples=args.samples,
             seed=args.seed,
+            jobs=args.jobs,
+            progress=functools.partial(_stderr_progress, "reliability")
+            if args.progress
+            else None,
         )
         print(reliability_table(estimates))
     return 0
@@ -266,6 +348,19 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--pattern", help="name of the failure pattern to inject (default: none)")
     simulate.add_argument("--ops", type=int, default=2, help="operations per invoking process")
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        help="repeat the simulation under seeds spawned deterministically from "
+        "--seed and aggregate the verdicts (default 1)",
+    )
+    simulate.add_argument(
+        "--jobs",
+        type=_jobs_value,
+        default=1,
+        help="worker processes for --runs > 1 (1 = serial, 0 = one per CPU)",
+    )
     simulate.set_defaults(func=cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="run the Monte Carlo studies")
@@ -275,6 +370,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--n", type=int, default=5)
     sweep.add_argument("--patterns", type=int, default=3)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--jobs",
+        type=_jobs_value,
+        default=1,
+        help="worker processes sharing the sweep's shards (1 = serial, 0 = one per CPU); "
+        "results are identical for every value",
+    )
+    sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="report per-shard progress on stderr",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     examples = sub.add_parser("examples", help="replay the paper's worked examples")

@@ -1,0 +1,24 @@
+"""Parallel experiment engine: deterministic sharded Monte Carlo execution.
+
+The engine is the substrate the repository's experiment sweeps run on.  It
+splits a sample budget into fixed-size shards with deterministically spawned
+seeds (:mod:`~repro.engine.spec`, :mod:`~repro.engine.seeding`) and executes
+them across ``multiprocessing`` workers with order-preserving merges
+(:mod:`~repro.engine.runner`).  The contract: **identical seeds produce
+identical merged results regardless of the number of jobs** — parallelism is
+an execution detail, never part of the experiment's definition.
+"""
+
+from .runner import ParallelRunner, resolve_jobs
+from .seeding import derive_seed, spawn_seeds
+from .spec import DEFAULT_CHUNK_SIZE, ExperimentSpec, ShardSpec
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ExperimentSpec",
+    "ParallelRunner",
+    "ShardSpec",
+    "derive_seed",
+    "resolve_jobs",
+    "spawn_seeds",
+]

@@ -1,0 +1,167 @@
+"""Parallel execution of sharded experiments with deterministic merging.
+
+:class:`ParallelRunner` fans shards out across ``multiprocessing`` workers and
+hands results back *in submission order*, so merging is deterministic no matter
+which worker finished first.  With ``jobs=1`` (the default) it degrades to a
+plain serial loop in the calling process — no pool, no pickling — and it also
+falls back to that loop when the platform cannot provide worker processes.
+
+Two entry points:
+
+* :meth:`ParallelRunner.map` — ordered map of a picklable task over items
+  (used for grid-sharded work such as per-pattern verification);
+* :meth:`ParallelRunner.run_sharded` — flatten several
+  :class:`~repro.engine.spec.ExperimentSpec` sample budgets into one task
+  stream, execute, regroup by spec and merge (used for the Monte Carlo
+  sweeps, where cross-grid-point parallelism matters on small grids).
+
+Tasks must be module-level callables (or ``functools.partial`` of one) with
+picklable arguments so worker processes can import them.
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .spec import ExperimentSpec, ShardSpec
+
+__all__ = ["ParallelRunner", "resolve_jobs"]
+
+#: Progress callback: ``progress(done, total)`` after each completed item.
+ProgressCallback = Callable[[int, int], None]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/1 → serial, 0 → one per CPU."""
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be non-negative (0 means one per CPU)")
+    return jobs
+
+
+def _invoke_shard_task(
+    shard_task: Callable[[ExperimentSpec, ShardSpec], Any],
+    item: Tuple[ExperimentSpec, ShardSpec],
+) -> Any:
+    """Module-level trampoline so flattened (spec, shard) work pickles cleanly."""
+    spec, shard = item
+    return shard_task(spec, shard)
+
+
+class ParallelRunner:
+    """Execute experiment shards across worker processes, deterministically.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` runs everything serially in-process (the
+        graceful-fallback path); ``0`` means one worker per CPU.
+    progress:
+        Optional ``progress(done, total)`` callback, invoked in the parent
+        process after each completed shard (chunked progress reporting).
+    mp_context:
+        Optional ``multiprocessing`` context, mainly for tests; defaults to
+        the platform default.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        progress: Optional[ProgressCallback] = None,
+        mp_context: Optional[Any] = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.progress = progress
+        self._mp_context = mp_context
+        #: How the most recent call executed: ``"serial"`` or ``"parallel"``.
+        self.last_mode: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # Ordered map
+    # ------------------------------------------------------------------ #
+    def map(self, task: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Apply ``task`` to every item, returning results in item order.
+
+        Results are collected with ``Pool.imap`` (ordered), so the output list
+        — and anything merged from it — is identical whether one worker or
+        sixteen executed the tasks.
+        """
+        work = list(items)
+        if self.jobs == 1 or len(work) <= 1:
+            return self._map_serial(task, work)
+        try:
+            return self._map_parallel(task, work)
+        except (OSError, ImportError, PermissionError):
+            # Platforms without usable process/semaphore support (some
+            # sandboxes, AWS Lambda, ...): degrade to the serial path.
+            return self._map_serial(task, work)
+
+    def _map_serial(self, task: Callable[[Any], Any], work: Sequence[Any]) -> List[Any]:
+        self.last_mode = "serial"
+        results = []
+        for done, item in enumerate(work, start=1):
+            results.append(task(item))
+            self._report(done, len(work))
+        return results
+
+    def _map_parallel(self, task: Callable[[Any], Any], work: Sequence[Any]) -> List[Any]:
+        context = self._mp_context or multiprocessing.get_context()
+        processes = min(self.jobs, len(work))
+        with context.Pool(processes=processes) as pool:
+            self.last_mode = "parallel"
+            results = []
+            for done, result in enumerate(pool.imap(task, work), start=1):
+                results.append(result)
+                self._report(done, len(work))
+        return results
+
+    def _report(self, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(done, total)
+
+    # ------------------------------------------------------------------ #
+    # Sharded experiments
+    # ------------------------------------------------------------------ #
+    def run_sharded(
+        self,
+        specs: Sequence[ExperimentSpec],
+        shard_task: Callable[[ExperimentSpec, ShardSpec], Any],
+        merge: Callable[[ExperimentSpec, List[Any]], Any],
+    ) -> List[Any]:
+        """Execute every spec's shards (in one flattened stream) and merge.
+
+        All shards of all specs share one worker pool, so a four-point grid
+        with three shards each keeps ``jobs=8`` busy instead of parallelising
+        only within a point.  ``merge(spec, shard_results)`` receives the
+        results in shard order; a spec with an empty budget gets an empty list.
+        """
+        spec_list = list(specs)
+        # Each work item carries only its own spec, so a task pickles one grid
+        # point's payload, not the whole grid; the parent keeps the index map.
+        spec_indices: List[int] = []
+        flattened: List[Tuple[ExperimentSpec, ShardSpec]] = []
+        for spec_index, spec in enumerate(spec_list):
+            for shard in spec.shards():
+                spec_indices.append(spec_index)
+                flattened.append((spec, shard))
+        task = functools.partial(_invoke_shard_task, shard_task)
+        results = self.map(task, flattened)
+        grouped: List[List[Any]] = [[] for _ in spec_list]
+        for spec_index, result in zip(spec_indices, results):
+            grouped[spec_index].append(result)
+        return [merge(spec, shard_results) for spec, shard_results in zip(spec_list, grouped)]
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        shard_task: Callable[[ExperimentSpec, ShardSpec], Any],
+        merge: Callable[[ExperimentSpec, List[Any]], Any],
+    ) -> Any:
+        """Execute one spec's shards and return the merged result."""
+        return self.run_sharded([spec], shard_task, merge)[0]

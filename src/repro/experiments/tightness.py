@@ -16,10 +16,12 @@ concrete fail-prone systems:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..analysis.metrics import ResultTable
+from ..engine import ParallelRunner
 from ..checkers import (
     check_lattice_agreement,
     check_register_linearizability,
@@ -148,27 +150,53 @@ def verify_pattern(
     return verdict
 
 
+def _verify_pattern_task(
+    quorum_system: GeneralizedQuorumSystem,
+    ops_per_process: int,
+    include_snapshot: bool,
+    include_lattice: bool,
+    seed: int,
+    pattern: FailurePattern,
+) -> PatternVerdict:
+    """Module-level task so per-pattern verification can run in worker processes."""
+    return verify_pattern(
+        quorum_system,
+        pattern,
+        ops_per_process=ops_per_process,
+        include_snapshot=include_snapshot,
+        include_lattice=include_lattice,
+        seed=seed,
+    )
+
+
 def verify_tightness(
     fail_prone: FailProneSystem,
     ops_per_process: int = 2,
     include_snapshot: bool = False,
     include_lattice: bool = False,
     seed: int = 0,
+    jobs: int = 1,
+    runner: Optional[ParallelRunner] = None,
 ) -> TightnessReport:
-    """Run the full tightness verification for one fail-prone system."""
+    """Run the full tightness verification for one fail-prone system.
+
+    Pattern verifications are independent simulations, so with ``jobs > 1``
+    they are fanned out across worker processes; verdicts come back in pattern
+    order and each simulation is seeded identically either way, so the report
+    does not depend on ``jobs``.
+    """
     discovery = discover_gqs(fail_prone)
     report = TightnessReport(fail_prone=fail_prone, discovery=discovery)
     if not discovery.exists or discovery.quorum_system is None:
         return report
-    for pattern in fail_prone:
-        report.verdicts.append(
-            verify_pattern(
-                discovery.quorum_system,
-                pattern,
-                ops_per_process=ops_per_process,
-                include_snapshot=include_snapshot,
-                include_lattice=include_lattice,
-                seed=seed,
-            )
-        )
+    runner = runner if runner is not None else ParallelRunner(jobs=jobs)
+    task = functools.partial(
+        _verify_pattern_task,
+        discovery.quorum_system,
+        ops_per_process,
+        include_snapshot,
+        include_lattice,
+        seed,
+    )
+    report.verdicts = runner.map(task, fail_prone.patterns)
     return report

@@ -15,9 +15,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import ResultTable
+from ..engine import (
+    DEFAULT_CHUNK_SIZE,
+    ExperimentSpec,
+    ParallelRunner,
+    ShardSpec,
+    derive_seed,
+)
+from ..engine.runner import ProgressCallback
 from ..failures import FailProneSystem, FailurePattern, random_failure_pattern
 from ..quorums import classify_fail_prone_system, gqs_exists, strong_system_exists
 
@@ -70,6 +78,50 @@ def sample_fail_prone_system(
     return FailProneSystem(processes, patterns)
 
 
+def _admissibility_shard(spec: ExperimentSpec, shard: ShardSpec) -> AdmissibilityPoint:
+    """Classify one shard's worth of random fail-prone systems (worker side)."""
+    rng = random.Random(shard.seed)
+    point = AdmissibilityPoint(
+        disconnect_prob=spec.params["disconnect_prob"],
+        crash_prob=spec.params["crash_prob"],
+        samples=shard.samples,
+    )
+    for _ in range(shard.samples):
+        system = sample_fail_prone_system(
+            rng,
+            n=spec.params["n"],
+            num_patterns=spec.params["num_patterns"],
+            crash_prob=spec.params["crash_prob"],
+            disconnect_prob=spec.params["disconnect_prob"],
+            max_crashes=spec.params["max_crashes"],
+        )
+        verdict = classify_fail_prone_system(system)
+        if verdict["generalized"]:
+            point.generalized += 1
+        if verdict["strong"]:
+            point.strong += 1
+        if verdict["classical"]:
+            point.classical += 1
+    return point
+
+
+def _merge_admissibility(
+    spec: ExperimentSpec, shard_points: List[AdmissibilityPoint]
+) -> AdmissibilityPoint:
+    """Merge per-shard classification counts for one grid point."""
+    merged = AdmissibilityPoint(
+        disconnect_prob=spec.params["disconnect_prob"],
+        crash_prob=spec.params["crash_prob"],
+        samples=0,
+    )
+    for point in shard_points:
+        merged.samples += point.samples
+        merged.generalized += point.generalized
+        merged.strong += point.strong
+        merged.classical += point.classical
+    return merged
+
+
 def admissibility_sweep(
     disconnect_probs: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
     n: int = 5,
@@ -78,32 +130,35 @@ def admissibility_sweep(
     samples: int = 50,
     max_crashes: Optional[int] = None,
     seed: int = 0,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[AdmissibilityPoint]:
-    """Classify random fail-prone systems across a channel-failure probability sweep."""
-    points: List[AdmissibilityPoint] = []
-    for disconnect_prob in disconnect_probs:
-        rng = random.Random((seed, disconnect_prob).__repr__())
-        point = AdmissibilityPoint(
-            disconnect_prob=disconnect_prob, crash_prob=crash_prob, samples=samples
+    """Classify random fail-prone systems across a channel-failure probability sweep.
+
+    Each grid point's sample budget is sharded with deterministic per-shard
+    seeds and all shards share one worker pool; the classification counts are
+    independent of ``jobs``.
+    """
+    runner = runner if runner is not None else ParallelRunner(jobs=jobs, progress=progress)
+    specs = [
+        ExperimentSpec(
+            name="admissibility",
+            samples=samples,
+            seed=derive_seed(seed, "admissibility", disconnect_prob),
+            chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
+            params={
+                "disconnect_prob": disconnect_prob,
+                "crash_prob": crash_prob,
+                "n": n,
+                "num_patterns": num_patterns,
+                "max_crashes": max_crashes,
+            },
         )
-        for _ in range(samples):
-            system = sample_fail_prone_system(
-                rng,
-                n=n,
-                num_patterns=num_patterns,
-                crash_prob=crash_prob,
-                disconnect_prob=disconnect_prob,
-                max_crashes=max_crashes,
-            )
-            verdict = classify_fail_prone_system(system)
-            if verdict["generalized"]:
-                point.generalized += 1
-            if verdict["strong"]:
-                point.strong += 1
-            if verdict["classical"]:
-                point.classical += 1
-        points.append(point)
-    return points
+        for disconnect_prob in disconnect_probs
+    ]
+    return runner.run_sharded(specs, _admissibility_shard, _merge_admissibility)
 
 
 def admissibility_table(points: Iterable[AdmissibilityPoint]) -> ResultTable:
@@ -163,12 +218,51 @@ def sample_asymmetric_partition_system(
     return FailProneSystem(processes, patterns)
 
 
+def _asymmetric_shard(spec: ExperimentSpec, shard: ShardSpec) -> Tuple[int, int]:
+    """Count (QS+, GQS) admissions in one shard of asymmetric-partition samples."""
+    rng = random.Random(shard.seed)
+    strong_count = 0
+    generalized_count = 0
+    for _ in range(shard.samples):
+        system = sample_asymmetric_partition_system(
+            rng,
+            n=spec.params["n"],
+            num_patterns=spec.params["num_patterns"],
+            window_size=spec.params["window_size"],
+        )
+        if strong_system_exists(system):
+            strong_count += 1
+        if gqs_exists(system):
+            generalized_count += 1
+    return strong_count, generalized_count
+
+
+def _merge_asymmetric(
+    spec: ExperimentSpec, shard_counts: List[Tuple[int, int]]
+) -> Dict[str, object]:
+    """Merge shard counts for one system size into a result-table row."""
+    samples = spec.samples
+    strong_count = sum(strong for strong, _ in shard_counts)
+    generalized_count = sum(generalized for _, generalized in shard_counts)
+    return {
+        "n": spec.params["n"],
+        "samples": samples,
+        "strong (QS+)": strong_count / samples if samples else 0.0,
+        "generalized (GQS)": generalized_count / samples if samples else 0.0,
+        "gap": (generalized_count - strong_count) / samples if samples else 0.0,
+    }
+
+
 def asymmetric_admissibility_sweep(
     n_values: Sequence[int] = (4, 5, 6),
     num_patterns: int = 3,
     samples: int = 100,
     seed: int = 0,
     window_size: Optional[int] = None,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> ResultTable:
     """E6 (second series): admissibility under the asymmetric-partition distribution.
 
@@ -179,31 +273,24 @@ def asymmetric_admissibility_sweep(
     fraction admitting a GQS.  The GQS column dominates — the quantitative form
     of "GQS is strictly weaker".
     """
+    runner = runner if runner is not None else ParallelRunner(jobs=jobs, progress=progress)
+    specs = [
+        ExperimentSpec(
+            name="asymmetric-admissibility",
+            samples=samples,
+            seed=derive_seed(seed, "asymmetric", n),
+            chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
+            params={"n": n, "num_patterns": num_patterns, "window_size": window_size},
+        )
+        for n in n_values
+    ]
+    rows = runner.run_sharded(specs, _asymmetric_shard, _merge_asymmetric)
     table = ResultTable(
         title="E6: admissibility under asymmetric partitions (GQS vs QS+)",
         columns=["n", "samples", "strong (QS+)", "generalized (GQS)", "gap"],
     )
-    for n in n_values:
-        rng = random.Random((seed, n).__repr__())
-        strong_count = 0
-        generalized_count = 0
-        for _ in range(samples):
-            system = sample_asymmetric_partition_system(
-                rng, n=n, num_patterns=num_patterns, window_size=window_size
-            )
-            if strong_system_exists(system):
-                strong_count += 1
-            if gqs_exists(system):
-                generalized_count += 1
-        table.add_row(
-            **{
-                "n": n,
-                "samples": samples,
-                "strong (QS+)": strong_count / samples,
-                "generalized (GQS)": generalized_count / samples,
-                "gap": (generalized_count - strong_count) / samples,
-            }
-        )
+    for row in rows:
+        table.add_row(**row)
     return table
 
 

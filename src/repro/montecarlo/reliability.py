@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import ResultTable
+from ..engine import DEFAULT_CHUNK_SIZE, ExperimentSpec, ParallelRunner, ShardSpec
+from ..engine.runner import ProgressCallback
 from ..failures import FailProneSystem, FailurePattern
 from ..graph import mutually_reachable
 from ..quorums import GeneralizedQuorumSystem, is_f_available, is_f_reachable
@@ -97,20 +99,39 @@ def _availability_under(
     return gqs_ok, strong_ok, classical_ok
 
 
-def estimate_reliability(
+def _reliability_spec(
     quorum_system: GeneralizedQuorumSystem,
-    crash_prob: float = 0.1,
-    disconnect_prob: float = 0.2,
-    samples: int = 200,
-    seed: int = 0,
-) -> ReliabilityEstimate:
-    """Estimate availability of the quorum system's three availability notions."""
-    rng = random.Random(seed)
+    crash_prob: float,
+    disconnect_prob: float,
+    samples: int,
+    seed: int,
+    chunk_size: Optional[int],
+) -> ExperimentSpec:
+    """Engine spec for one (crash, disconnect) grid point."""
+    spec = ExperimentSpec(
+        name="reliability",
+        samples=samples,
+        seed=seed,
+        chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
+    )
+    return spec.with_params(
+        quorum_system=quorum_system,
+        crash_prob=crash_prob,
+        disconnect_prob=disconnect_prob,
+    )
+
+
+def _reliability_shard(spec: ExperimentSpec, shard: ShardSpec) -> ReliabilityEstimate:
+    """Run one shard of a reliability estimate (executes inside a worker)."""
+    quorum_system = spec.params["quorum_system"]
+    crash_prob = spec.params["crash_prob"]
+    disconnect_prob = spec.params["disconnect_prob"]
+    rng = random.Random(shard.seed)
     processes = sorted(quorum_system.processes, key=repr)
     estimate = ReliabilityEstimate(
-        crash_prob=crash_prob, disconnect_prob=disconnect_prob, samples=samples
+        crash_prob=crash_prob, disconnect_prob=disconnect_prob, samples=shard.samples
     )
-    for _ in range(samples):
+    for _ in range(shard.samples):
         pattern = _sample_pattern(processes, rng, crash_prob, disconnect_prob)
         gqs_ok, strong_ok, classical_ok = _availability_under(quorum_system, pattern)
         if gqs_ok:
@@ -122,24 +143,70 @@ def estimate_reliability(
     return estimate
 
 
+def _merge_reliability(
+    spec: ExperimentSpec, shard_estimates: List[ReliabilityEstimate]
+) -> ReliabilityEstimate:
+    """Merge per-shard estimates for one grid point, preserving sample counts."""
+    merged = ReliabilityEstimate(
+        crash_prob=spec.params["crash_prob"],
+        disconnect_prob=spec.params["disconnect_prob"],
+        samples=0,
+    )
+    for estimate in shard_estimates:
+        merged.samples += estimate.samples
+        merged.gqs_available += estimate.gqs_available
+        merged.strong_available += estimate.strong_available
+        merged.classical_available += estimate.classical_available
+    return merged
+
+
+def estimate_reliability(
+    quorum_system: GeneralizedQuorumSystem,
+    crash_prob: float = 0.1,
+    disconnect_prob: float = 0.2,
+    samples: int = 200,
+    seed: int = 0,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> ReliabilityEstimate:
+    """Estimate availability of the quorum system's three availability notions.
+
+    The sample budget is sharded with deterministic per-shard seeds, so the
+    estimate depends only on ``(samples, seed, chunk_size)`` — never on
+    ``jobs``.
+    """
+    runner = runner if runner is not None else ParallelRunner(jobs=jobs)
+    spec = _reliability_spec(
+        quorum_system, crash_prob, disconnect_prob, samples, seed, chunk_size
+    )
+    return runner.run(spec, _reliability_shard, _merge_reliability)
+
+
 def reliability_sweep(
     quorum_system: GeneralizedQuorumSystem,
     disconnect_probs: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
     crash_prob: float = 0.1,
     samples: int = 200,
     seed: int = 0,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[ReliabilityEstimate]:
-    """Sweep the disconnection probability, keeping the crash probability fixed."""
-    return [
-        estimate_reliability(
-            quorum_system,
-            crash_prob=crash_prob,
-            disconnect_prob=p,
-            samples=samples,
-            seed=seed + index,
+    """Sweep the disconnection probability, keeping the crash probability fixed.
+
+    All grid points share one worker pool, so parallelism spans the whole
+    sweep rather than a single point.
+    """
+    runner = runner if runner is not None else ParallelRunner(jobs=jobs, progress=progress)
+    specs = [
+        _reliability_spec(
+            quorum_system, crash_prob, p, samples, seed + index, chunk_size
         )
         for index, p in enumerate(disconnect_probs)
     ]
+    return runner.run_sharded(specs, _reliability_shard, _merge_reliability)
 
 
 def reliability_table(estimates: Iterable[ReliabilityEstimate]) -> ResultTable:

@@ -96,6 +96,29 @@ def test_sweep_reliability(capsys):
     assert "GQS availability" in output
 
 
+def test_sweep_jobs_do_not_change_results(capsys):
+    argv = ["sweep", "all", "--probs", "0.0", "0.3", "--samples", "8", "--n", "4", "--seed", "7"]
+    assert main(argv + ["--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(argv + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+
+
+def test_simulate_multiple_runs_aggregate(capsys):
+    status = main(
+        [
+            "simulate", "--builtin", "figure1", "--object", "register",
+            "--pattern", "f1", "--ops", "1", "--runs", "3", "--jobs", "2",
+        ]
+    )
+    output = capsys.readouterr().out
+    assert status == 0
+    assert "runs              : 3" in output
+    assert "linearizable=True (3/3 runs)" in output
+    assert "all ops completed : True (3/3 runs)" in output
+
+
 def test_check_with_repair_suggestions(capsys):
     status = main(
         ["check", "--builtin", "figure1-modified", "--suggest-repairs", "--max-repair-channels", "1"]

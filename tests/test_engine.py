@@ -1,0 +1,214 @@
+"""Tests for the parallel experiment engine (:mod:`repro.engine`).
+
+The engine's contract: identical seeds produce identical merged results
+regardless of the number of worker processes.  These tests pin the seed
+derivation, the shard decomposition, the runner's ordering/fallback behaviour,
+and the contract end-to-end on the Monte Carlo experiments that run on it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    DEFAULT_CHUNK_SIZE,
+    ExperimentSpec,
+    ParallelRunner,
+    ShardSpec,
+    derive_seed,
+    resolve_jobs,
+    spawn_seeds,
+)
+
+
+# ---------------------------------------------------------------------- #
+# Seeding
+# ---------------------------------------------------------------------- #
+def test_derive_seed_deterministic_and_path_sensitive():
+    assert derive_seed(7, "a", 0) == derive_seed(7, "a", 0)
+    assert derive_seed(7, "a", 0) != derive_seed(7, "a", 1)
+    assert derive_seed(7, "a", 0) != derive_seed(7, "b", 0)
+    assert derive_seed(7, "a", 0) != derive_seed(8, "a", 0)
+
+
+def test_spawn_seeds_are_distinct_and_reproducible():
+    seeds = spawn_seeds(42, 32, "experiment")
+    assert len(seeds) == 32
+    assert len(set(seeds)) == 32
+    assert seeds == spawn_seeds(42, 32, "experiment")
+    assert seeds != spawn_seeds(43, 32, "experiment")
+
+
+def test_spawn_seeds_rejects_negative_count():
+    with pytest.raises(ValueError):
+        spawn_seeds(0, -1)
+
+
+# ---------------------------------------------------------------------- #
+# Shard decomposition
+# ---------------------------------------------------------------------- #
+def test_shards_preserve_sample_budget():
+    spec = ExperimentSpec(name="x", samples=53, seed=3, chunk_size=10)
+    shards = spec.shards()
+    assert [s.samples for s in shards] == [10, 10, 10, 10, 10, 3]
+    assert sum(s.samples for s in shards) == 53
+    assert [s.index for s in shards] == list(range(6))
+
+
+def test_shards_are_deterministic_and_jobs_independent():
+    # The decomposition is a pure function of the spec — there is no "jobs"
+    # input anywhere in it.
+    a = ExperimentSpec(name="x", samples=40, seed=9).shards()
+    b = ExperimentSpec(name="x", samples=40, seed=9).shards()
+    assert a == b
+    assert len(set(s.seed for s in a)) == len(a)
+
+
+def test_shards_empty_budget_and_validation():
+    assert ExperimentSpec(name="x", samples=0).shards() == ()
+    with pytest.raises(ValueError):
+        ExperimentSpec(name="x", samples=-1)
+    with pytest.raises(ValueError):
+        ExperimentSpec(name="x", samples=1, chunk_size=0)
+
+
+def test_spec_name_salts_shard_seeds():
+    a = ExperimentSpec(name="reliability", samples=16, seed=5).shards()
+    b = ExperimentSpec(name="admissibility", samples=16, seed=5).shards()
+    assert all(x.seed != y.seed for x, y in zip(a, b))
+
+
+def test_with_params_merges():
+    spec = ExperimentSpec(name="x", samples=8, params={"a": 1})
+    derived = spec.with_params(b=2)
+    assert derived.params == {"a": 1, "b": 2}
+    assert derived.shards() == spec.shards()
+
+
+# ---------------------------------------------------------------------- #
+# Runner
+# ---------------------------------------------------------------------- #
+def _square(value):
+    """Top-level task so multiprocessing workers can pickle it."""
+    return value * value
+
+
+def _count_shard(spec, shard):
+    """Toy shard task: report the shard it was handed."""
+    return {"samples": shard.samples, "seed": shard.seed}
+
+
+def _merge_counts(spec, shard_results):
+    return {
+        "name": spec.name,
+        "samples": sum(r["samples"] for r in shard_results),
+        "seeds": tuple(r["seed"] for r in shard_results),
+    }
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(5) == 5
+    assert resolve_jobs(0) >= 1
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)
+
+
+def test_map_serial_fallback_for_single_job():
+    runner = ParallelRunner(jobs=1)
+    assert runner.map(_square, [1, 2, 3]) == [1, 4, 9]
+    assert runner.last_mode == "serial"
+
+
+def test_map_serial_fallback_for_single_item():
+    runner = ParallelRunner(jobs=8)
+    assert runner.map(_square, [5]) == [25]
+    assert runner.last_mode == "serial"
+
+
+def test_map_parallel_preserves_order():
+    runner = ParallelRunner(jobs=2)
+    items = list(range(20))
+    assert runner.map(_square, items) == [i * i for i in items]
+    assert runner.last_mode in ("parallel", "serial")  # serial on fork-less platforms
+
+
+def test_progress_reports_every_shard():
+    seen = []
+    runner = ParallelRunner(jobs=1, progress=lambda done, total: seen.append((done, total)))
+    runner.map(_square, [1, 2, 3])
+    assert seen == [(1, 3), (2, 3), (3, 3)]
+
+
+def test_run_sharded_merges_in_shard_order():
+    specs = [
+        ExperimentSpec(name="a", samples=25, seed=1, chunk_size=10),
+        ExperimentSpec(name="b", samples=5, seed=2, chunk_size=10),
+        ExperimentSpec(name="c", samples=0, seed=3, chunk_size=10),
+    ]
+    for jobs in (1, 2):
+        merged = ParallelRunner(jobs=jobs).run_sharded(specs, _count_shard, _merge_counts)
+        assert [m["samples"] for m in merged] == [25, 5, 0]
+        assert merged[0]["seeds"] == tuple(s.seed for s in specs[0].shards())
+
+
+def test_run_single_spec():
+    spec = ExperimentSpec(name="solo", samples=12, seed=4, chunk_size=5)
+    merged = ParallelRunner(jobs=1).run(spec, _count_shard, _merge_counts)
+    assert merged["samples"] == 12
+
+
+# ---------------------------------------------------------------------- #
+# End-to-end: the experiments that run on the engine
+# ---------------------------------------------------------------------- #
+def test_reliability_identical_across_jobs(figure1_gqs):
+    from repro.montecarlo import estimate_reliability, reliability_sweep, reliability_table
+
+    serial = estimate_reliability(figure1_gqs, samples=48, seed=11, jobs=1)
+    parallel = estimate_reliability(figure1_gqs, samples=48, seed=11, jobs=3)
+    assert serial.samples == parallel.samples == 48
+    assert serial.gqs_available == parallel.gqs_available
+    assert serial.strong_available == parallel.strong_available
+    assert serial.classical_available == parallel.classical_available
+
+    table_serial = reliability_table(
+        reliability_sweep(figure1_gqs, disconnect_probs=(0.0, 0.3), samples=24, seed=5, jobs=1)
+    )
+    table_parallel = reliability_table(
+        reliability_sweep(figure1_gqs, disconnect_probs=(0.0, 0.3), samples=24, seed=5, jobs=4)
+    )
+    assert table_serial.to_text() == table_parallel.to_text()
+
+
+def test_admissibility_identical_across_jobs():
+    from repro.montecarlo import admissibility_sweep, admissibility_table
+
+    kwargs = dict(disconnect_probs=(0.0, 0.4), n=4, num_patterns=2, samples=24, seed=13)
+    serial = admissibility_sweep(jobs=1, **kwargs)
+    parallel = admissibility_sweep(jobs=2, **kwargs)
+    assert [p.samples for p in serial] == [p.samples for p in parallel] == [24, 24]
+    assert admissibility_table(serial).to_text() == admissibility_table(parallel).to_text()
+
+
+def test_admissibility_chunk_size_changes_stream_not_budget():
+    from repro.montecarlo import admissibility_sweep
+
+    coarse = admissibility_sweep(disconnect_probs=(0.2,), samples=20, seed=1, chunk_size=20)
+    fine = admissibility_sweep(disconnect_probs=(0.2,), samples=20, seed=1, chunk_size=4)
+    # Different chunking draws different sample streams (documented), but the
+    # budget accounting is exact either way.
+    assert coarse[0].samples == fine[0].samples == 20
+
+
+def test_tightness_identical_across_jobs(figure1_system):
+    from repro.experiments import verify_tightness
+
+    serial = verify_tightness(figure1_system, include_snapshot=True, include_lattice=True, jobs=1)
+    parallel = verify_tightness(figure1_system, include_snapshot=True, include_lattice=True, jobs=2)
+    assert serial.gqs_exists and parallel.gqs_exists
+    assert serial.all_patterns_ok and parallel.all_patterns_ok
+    assert serial.to_table().to_text() == parallel.to_table().to_text()
+    assert [v.pattern.name for v in serial.verdicts] == [
+        v.pattern.name for v in parallel.verdicts
+    ]
