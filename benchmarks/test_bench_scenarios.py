@@ -1,0 +1,45 @@
+"""Scenario subsystem — engine-backed execution of the declarative catalogue.
+
+Measures a seeded scenario batch running through the parallel engine and pins
+the jobs-independence contract on a real scenario: the per-run result table
+produced with ``jobs=1`` (serial in-process fallback) is byte-identical to the
+one produced with worker processes.  ``REPRO_BENCH_JOBS=N`` shards the
+measured batch across ``N`` workers (default 1, like the other Monte Carlo
+harnesses).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.scenarios import run_scenario, sweep_scenarios, sweep_table
+
+from conftest import bench_once
+
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+RUNS = 4
+SEED = 7
+
+
+def test_scenario_run_parallel_matches_serial(benchmark):
+    serial = run_scenario("unidirectional-ring", runs=RUNS, seed=SEED, jobs=1)
+
+    measured = bench_once(
+        benchmark,
+        run_scenario,
+        "unidirectional-ring",
+        runs=RUNS,
+        seed=SEED,
+        jobs=max(BENCH_JOBS, 2),
+    )
+    print()
+    print(measured.run_table().to_text())
+    assert measured.run_table().to_text() == serial.run_table().to_text()
+    assert measured.ok
+
+
+def test_scenario_catalogue_sweep(benchmark):
+    results = bench_once(benchmark, sweep_scenarios, runs=1, seed=SEED, jobs=BENCH_JOBS)
+    print()
+    print(sweep_table(results).to_text())
+    assert all(result.ok for result in results)

@@ -9,7 +9,9 @@ This example walks through the library's core workflow:
    system* (GQS) — the paper's tight condition for implementing registers,
    snapshots, lattice agreement and consensus;
 3. run the paper's register protocol on a simulated network under one of the
-   failure patterns and check the resulting history for linearizability.
+   failure patterns and check the resulting history for linearizability;
+4. run a named scenario from the declarative catalogue (docs/scenarios.md) —
+   the one-line way to do steps 1-3, executed on the parallel engine.
 
 Run with:  python examples/quickstart.py
 """
@@ -20,6 +22,7 @@ from repro.checkers import check_register_linearizability
 from repro.experiments import run_register_workload
 from repro.failures import FailProneSystem, FailurePattern
 from repro.quorums import discover_gqs
+from repro.scenarios import run_scenario
 
 
 def main() -> None:
@@ -64,6 +67,19 @@ def main() -> None:
     print("  linearizable        :", bool(verdict))
     print("  mean latency        : {:.2f} time units".format(run.metrics.mean_latency))
     print("  messages sent       :", run.metrics.messages_sent)
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 4. The same workflow, declaratively: run a catalogue scenario.
+    #    'geo-replication' bundles topology, failure injection, delay model,
+    #    protocol and client workload into one serializable spec; the engine
+    #    spawns per-run seeds deterministically, so the table below depends
+    #    only on (scenario, runs, seed) — never on the job count.
+    # ------------------------------------------------------------------ #
+    batch = run_scenario("geo-replication", runs=2, seed=0, jobs=1)
+    print(batch.run_table().to_text())
+    print("  all runs completed  :", batch.all_completed)
+    print("  all runs safe       :", batch.all_safe)
 
 
 if __name__ == "__main__":

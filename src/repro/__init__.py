@@ -16,7 +16,10 @@ everything the PODC 2025 paper describes:
 * linearizability and specification checkers (:mod:`repro.checkers`);
 * Monte Carlo admissibility/reliability studies and experiment harnesses
   (:mod:`repro.montecarlo`, :mod:`repro.experiments`), executed by a parallel
-  experiment engine with deterministic sharded seeding (:mod:`repro.engine`).
+  experiment engine with deterministic sharded seeding (:mod:`repro.engine`);
+* a declarative scenario subsystem with a catalogue of named evaluation
+  set-ups — topology + failures + delays + protocol + workload as one
+  JSON-serializable spec (:mod:`repro.scenarios`).
 
 Quickstart::
 
@@ -37,6 +40,7 @@ from . import (
     montecarlo,
     protocols,
     quorums,
+    scenarios,
     serialization,
     sim,
 )
@@ -75,6 +79,7 @@ __all__ = [
     "montecarlo",
     "protocols",
     "quorums",
+    "scenarios",
     "serialization",
     "sim",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four commands cover the workflows a practitioner needs:
+Five commands cover the workflows a practitioner needs:
 
 ``check``
     Decide whether a fail-prone system (from a JSON file or a built-in example)
@@ -19,50 +19,45 @@ Four commands cover the workflows a practitioner needs:
     :mod:`repro.engine`; a sweep's output depends only on ``--seed``, never
     on the job count.
 
+``scenario``
+    The declarative scenario catalogue (:mod:`repro.scenarios`): ``list`` the
+    registry, ``show`` a spec as JSON, ``run`` one scenario's seeded batch, or
+    ``sweep`` many scenarios over one worker pool — all with table or JSON
+    output, and all jobs-independent like ``sweep``.
+
 ``examples``
     Replay the paper's worked examples (Examples 4-9) and report which hold.
 
 Built-in fail-prone systems: ``figure1``, ``figure1-modified``,
 ``ring-<n>`` (e.g. ``ring-5``), ``geo-<sites>x<replicas>`` (e.g. ``geo-3x2``),
-``minority-<n>`` (crash-only threshold).
+``minority-<n>`` (crash-only threshold), ``adversarial-<n>`` (one-way splits).
 """
 
 from __future__ import annotations
 
 import argparse
 import functools
+import json
 import sys
 from typing import Any, Dict, List, Optional
 
-from .analysis import (
-    figure1_fail_prone_system,
-    figure1_modified_fail_prone_system,
-    run_all_examples,
-)
-from .checkers import (
-    check_consensus,
-    check_lattice_agreement,
-    check_register_linearizability,
-    check_snapshot_linearizability,
-)
+from .analysis import run_all_examples
 from .engine import ParallelRunner, spawn_seeds
 from .errors import ReproError
-from .experiments import (
-    run_consensus_workload,
-    run_lattice_workload,
-    run_paxos_baseline_workload,
-    run_register_workload,
-    run_snapshot_workload,
-)
-from .failures import (
-    FailProneSystem,
-    geo_replicated_system,
-    ring_unidirectional_system,
-)
+from .experiments import evaluate_safety, run_workload
+from .failures import FailProneSystem, builtin_fail_prone_system
 from .montecarlo import admissibility_sweep, admissibility_table, reliability_sweep, reliability_table
 from .quorums import discover_gqs
+from .scenarios import (
+    catalogue_markdown,
+    catalogue_table,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+    sweep_scenarios,
+    sweep_table,
+)
 from .serialization import load_fail_prone_system
-from .types import sorted_processes
 
 
 def _jobs_value(text: str) -> int:
@@ -76,30 +71,25 @@ def _jobs_value(text: str) -> int:
     return value
 
 
-def _builtin_system(name: str) -> FailProneSystem:
-    """Resolve a built-in fail-prone system by name."""
-    if name == "figure1":
-        return figure1_fail_prone_system()
-    if name == "figure1-modified":
-        return figure1_modified_fail_prone_system()
-    if name.startswith("ring-"):
-        return ring_unidirectional_system(int(name.split("-", 1)[1]))
-    if name.startswith("geo-"):
-        sites, replicas = name.split("-", 1)[1].split("x")
-        return geo_replicated_system(sites=int(sites), replicas_per_site=int(replicas))
-    if name.startswith("minority-"):
-        n = int(name.split("-", 1)[1])
-        return FailProneSystem.minority_crashes(["p{}".format(i) for i in range(n)])
-    raise ReproError(
-        "unknown built-in system {!r}; use figure1, figure1-modified, ring-<n>, "
-        "geo-<sites>x<replicas> or minority-<n>".format(name)
-    )
+def _runs_value(text: str) -> int:
+    """argparse type for ``scenario ... --runs``: a positive int.
+
+    Rejecting 0 matters: a zero-run batch would report ``0/0`` liveness and
+    safety and exit 0 — a vacuously green result.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected an integer, got {!r}".format(text))
+    if value < 1:
+        raise argparse.ArgumentTypeError("runs must be at least 1")
+    return value
 
 
 def _resolve_system(args: argparse.Namespace) -> FailProneSystem:
     if args.spec is not None:
         return load_fail_prone_system(args.spec)
-    return _builtin_system(args.builtin)
+    return builtin_fail_prone_system(args.builtin)
 
 
 def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
@@ -166,26 +156,9 @@ def _simulate_once(gqs, object_kind: str, pattern, ops: int, seed: int) -> Dict[
     Module-level so ``simulate --runs N --jobs M`` can fan seeded repetitions
     out across worker processes.
     """
-    if object_kind == "register":
-        run = run_register_workload(gqs, pattern=pattern, ops_per_process=ops, seed=seed)
-        verdict = bool(check_register_linearizability(run.history, initial_value=0))
-    elif object_kind == "snapshot":
-        run = run_snapshot_workload(gqs, pattern=pattern, writes_per_process=1, seed=seed)
-        verdict = bool(
-            check_snapshot_linearizability(
-                run.history, segment_ids=sorted_processes(gqs.processes), initial_value=None
-            )
-        )
-    elif object_kind == "lattice":
-        run = run_lattice_workload(gqs, pattern=pattern, seed=seed)
-        verdict = check_lattice_agreement(run.history).ok
-    elif object_kind == "consensus":
-        run = run_consensus_workload(gqs, pattern=pattern, seed=seed)
-        required = gqs.termination_component(pattern) if pattern is not None else gqs.processes
-        verdict = check_consensus(run.history, required_to_terminate=required).ok
-    else:  # paxos baseline
-        run = run_paxos_baseline_workload(gqs, pattern=pattern, seed=seed)
-        verdict = True
+    ops_per_process = ops if object_kind == "register" else 1
+    run = run_workload(object_kind, gqs, pattern=pattern, ops_per_process=ops_per_process, seed=seed)
+    verdict = evaluate_safety(object_kind, gqs, pattern, run)
     return {
         "completed": run.completed,
         "verdict": bool(verdict),
@@ -300,6 +273,92 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# scenario
+# ---------------------------------------------------------------------- #
+def cmd_scenario_list(args: argparse.Namespace) -> int:
+    if args.format == "json":
+        print(json.dumps([get_scenario(n).to_dict() for n in scenario_names()], indent=2))
+    elif args.format == "markdown":
+        print(catalogue_markdown())
+    else:
+        print(catalogue_table().to_text())
+    return 0
+
+
+def cmd_scenario_show(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.name)
+    if args.format == "json":
+        print(scenario.to_json())
+        return 0
+    print("scenario      :", scenario.name)
+    print("description   :", scenario.description)
+    print("paper section :", scenario.paper_section)
+    print("topology      :", scenario.topology.label())
+    print("failure       :", scenario.failure.label())
+    print("delay         :", scenario.delay.label())
+    print("protocol      :", scenario.protocol.label())
+    print(
+        "workload      : ops_per_process={}, op_spacing={}, max_time={}".format(
+            scenario.workload.ops_per_process,
+            scenario.workload.op_spacing,
+            scenario.workload.max_time,
+        )
+    )
+    print("default runs  :", scenario.default_runs)
+    return 0
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.name)
+    result = run_scenario(
+        scenario,
+        runs=args.runs,
+        seed=args.seed,
+        jobs=args.jobs,
+        progress=functools.partial(_stderr_progress, "scenario " + scenario.name)
+        if args.progress
+        else None,
+    )
+    if args.format == "json":
+        print(result.to_json())
+        return 0 if result.ok else 1
+    print("scenario  :", scenario.name)
+    print("topology  :", scenario.topology.label())
+    print("failure   :", scenario.failure.label())
+    print("delay     :", scenario.delay.label())
+    print("protocol  :", scenario.protocol.label())
+    print()
+    print(result.run_table().to_text())
+    print()
+    print(
+        "all runs completed : {} ({}/{})".format(
+            result.all_completed, result.completed_runs, result.runs
+        )
+    )
+    print("safety             : {} ({}/{})".format(result.all_safe, result.safe_runs, result.runs))
+    print("mean latency       : {:.2f} (avg over runs)".format(result.mean_latency))
+    print("max latency        : {:.2f} (max over runs)".format(result.max_latency))
+    print("messages sent      : {} (total)".format(result.total_messages))
+    return 0 if result.ok else 1
+
+
+def cmd_scenario_sweep(args: argparse.Namespace) -> int:
+    names = args.names if args.names else None
+    results = sweep_scenarios(
+        names,
+        runs=args.runs,
+        seed=args.seed,
+        jobs=args.jobs,
+        progress=functools.partial(_stderr_progress, "scenarios") if args.progress else None,
+    )
+    if args.format == "json":
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        print(sweep_table(results).to_text())
+    return 0 if all(r.ok for r in results) else 1
+
+
+# ---------------------------------------------------------------------- #
 # examples
 # ---------------------------------------------------------------------- #
 def cmd_examples(args: argparse.Namespace) -> int:
@@ -383,6 +442,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="report per-shard progress on stderr",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    scenario = sub.add_parser(
+        "scenario", help="declarative scenario catalogue: list, show, run, sweep"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_list = scenario_sub.add_parser("list", help="list the registered scenarios")
+    scenario_list.add_argument(
+        "--format",
+        choices=["table", "json", "markdown"],
+        default="table",
+        help="output format (markdown matches the docs/scenarios.md catalogue table)",
+    )
+    scenario_list.set_defaults(func=cmd_scenario_list)
+
+    scenario_show = scenario_sub.add_parser(
+        "show", help="print one scenario's full declarative specification"
+    )
+    scenario_show.add_argument("name", help="registered scenario name")
+    scenario_show.add_argument("--format", choices=["text", "json"], default="text")
+    scenario_show.set_defaults(func=cmd_scenario_show)
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario's seeded batch through the engine"
+    )
+    scenario_run.add_argument("name", help="registered scenario name")
+    scenario_run.add_argument(
+        "--runs",
+        type=_runs_value,
+        default=None,
+        help="seeded repetitions (default: the scenario's default_runs)",
+    )
+    scenario_run.add_argument("--seed", type=int, default=0)
+    scenario_run.add_argument(
+        "--jobs",
+        type=_jobs_value,
+        default=1,
+        help="worker processes sharing the runs (1 = serial, 0 = one per CPU); "
+        "results are identical for every value",
+    )
+    scenario_run.add_argument("--format", choices=["table", "json"], default="table")
+    scenario_run.add_argument(
+        "--progress", action="store_true", help="report per-run progress on stderr"
+    )
+    scenario_run.set_defaults(func=cmd_scenario_run)
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep", help="run several scenarios (default: all) over one worker pool"
+    )
+    scenario_sweep.add_argument(
+        "names", nargs="*", help="scenario names (default: the whole registry)"
+    )
+    scenario_sweep.add_argument(
+        "--runs",
+        type=_runs_value,
+        default=None,
+        help="seeded repetitions per scenario (default: each scenario's default_runs)",
+    )
+    scenario_sweep.add_argument("--seed", type=int, default=0)
+    scenario_sweep.add_argument("--jobs", type=_jobs_value, default=1)
+    scenario_sweep.add_argument("--format", choices=["table", "json"], default="table")
+    scenario_sweep.add_argument(
+        "--progress", action="store_true", help="report per-run progress on stderr"
+    )
+    scenario_sweep.set_defaults(func=cmd_scenario_sweep)
 
     examples = sub.add_parser("examples", help="replay the paper's worked examples")
     examples.set_defaults(func=cmd_examples)

@@ -9,7 +9,7 @@ identical merged results regardless of the number of jobs** — parallelism is
 an execution detail, never part of the experiment's definition.
 """
 
-from .runner import ParallelRunner, resolve_jobs
+from .runner import ParallelRunner, ProgressCallback, resolve_jobs
 from .seeding import derive_seed, spawn_seeds
 from .spec import DEFAULT_CHUNK_SIZE, ExperimentSpec, ShardSpec
 
@@ -17,6 +17,7 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "ExperimentSpec",
     "ParallelRunner",
+    "ProgressCallback",
     "ShardSpec",
     "derive_seed",
     "resolve_jobs",

@@ -1,19 +1,37 @@
-"""Ready-made simulated workloads for the paper's protocols.
+"""Spec-driven simulated workloads for the paper's protocols.
 
-Each ``run_*_workload`` function builds a cluster of protocol processes over a
-quorum system, optionally injects a failure pattern at time zero, drives a
-small client workload (invocations staggered in simulated time), runs the
-discrete-event simulation, and returns the resulting operation history together
-with latency/message metrics.  The benchmark harnesses (E3–E5, E8) and the
-examples are thin wrappers around these functions.
+The module is organised as a small pipeline, so a workload can be described
+declaratively (by the scenario subsystem, :mod:`repro.scenarios`) or invoked
+directly (by the benchmarks and examples):
+
+* :func:`build_protocol_factory` — protocol kind + parameters → process
+  factory over a quorum system;
+* :func:`client_schedule` — protocol kind + invoker list → the canonical
+  client invocation plan (operations staggered in simulated time);
+* :func:`execute_workload` — cluster construction, failure injection (at time
+  zero or later), plan execution, history/metric collection;
+* :func:`run_workload` — the one-call front-end combining the three;
+* :func:`evaluate_safety` — protocol kind → the paper's safety verdict for a
+  finished run (linearizability, lattice properties, consensus properties).
+
+Each legacy ``run_*_workload`` function is a thin wrapper over
+:func:`run_workload` preserving its original signature and behaviour; the
+benchmark harnesses (E3–E5, E8) and the examples build on either level.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.metrics import OperationMetrics
+from ..checkers import (
+    check_consensus,
+    check_lattice_agreement,
+    check_register_linearizability,
+    check_snapshot_linearizability,
+)
+from ..errors import ReproError
 from ..failures import FailurePattern
 from ..history import History
 from ..protocols import (
@@ -26,8 +44,30 @@ from ..protocols import (
 )
 from ..protocols.lattice_agreement import SemiLattice, SetLattice
 from ..quorums import GeneralizedQuorumSystem, QuorumSystem
-from ..sim import Cluster, PartialSynchronyDelay, UniformDelay
+from ..sim import Cluster, DelayModel, PartialSynchronyDelay, UniformDelay
 from ..types import ProcessId, sorted_processes
+
+#: The protocol kinds the workload layer can drive.
+PROTOCOL_KINDS: Tuple[str, ...] = ("register", "snapshot", "lattice", "consensus", "paxos")
+
+#: Allowed protocol parameters per kind (validated by the factory builder).
+PROTOCOL_PARAM_KEYS: Dict[str, Tuple[str, ...]] = {
+    "register": ("classical", "push_interval", "relay"),
+    "snapshot": ("push_interval",),
+    "lattice": ("push_interval", "lattice"),
+    "consensus": ("view_duration",),
+    "paxos": ("retry_timeout",),
+}
+
+#: Per-kind defaults for the client plan: spacing between operations and the
+#: liveness horizon of the simulation.
+WORKLOAD_DEFAULTS: Dict[str, Dict[str, float]] = {
+    "register": {"op_spacing": 8.0, "max_time": 4_000.0},
+    "snapshot": {"op_spacing": 15.0, "max_time": 6_000.0},
+    "lattice": {"op_spacing": 3.0, "max_time": 6_000.0},
+    "consensus": {"op_spacing": 1.5, "max_time": 3_000.0},
+    "paxos": {"op_spacing": 1.5, "max_time": 1_500.0},
+}
 
 
 @dataclass
@@ -39,6 +79,16 @@ class WorkloadResult:
     completed: bool
     cluster: Any = None
     extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One planned client invocation: ``method(*args)`` on ``pid`` at time ``at``."""
+
+    at: float
+    pid: ProcessId
+    method: str
+    args: Tuple[Any, ...] = ()
 
 
 def _collect_metrics(cluster: Cluster, history: History) -> OperationMetrics:
@@ -54,13 +104,253 @@ def _collect_metrics(cluster: Cluster, history: History) -> OperationMetrics:
     )
 
 
-def _termination_set(
+def default_invokers(
     quorum_system: GeneralizedQuorumSystem, pattern: Optional[FailurePattern]
 ) -> List[ProcessId]:
     """The processes at which operations are invoked: ``U_f`` under a pattern, else all."""
     if pattern is None:
         return sorted_processes(quorum_system.processes)
     return sorted_processes(quorum_system.termination_component(pattern))
+
+
+# Backwards-compatible alias (the pre-scenario name of the helper).
+_termination_set = default_invokers
+
+
+# ---------------------------------------------------------------------- #
+# Declarative building blocks
+# ---------------------------------------------------------------------- #
+def validate_protocol_params(kind: str, params: Mapping[str, Any]) -> None:
+    """Check a protocol kind and its parameter names (raises :class:`ReproError`).
+
+    The single validator shared by :func:`build_protocol_factory` and the
+    declarative :class:`~repro.scenarios.spec.ProtocolSpec`, so typos in
+    scenario files fail loudly with one consistent message.
+    """
+    if kind not in PROTOCOL_KINDS:
+        raise ReproError(
+            "unknown protocol kind {!r}; expected one of {}".format(kind, list(PROTOCOL_KINDS))
+        )
+    unknown = set(params) - set(PROTOCOL_PARAM_KEYS[kind])
+    if unknown:
+        raise ReproError(
+            "protocol {!r} does not accept parameter(s) {}".format(kind, sorted(unknown))
+        )
+
+
+def build_protocol_factory(
+    kind: str,
+    quorum_system: GeneralizedQuorumSystem,
+    params: Optional[Mapping[str, Any]] = None,
+):
+    """Build a process factory for protocol ``kind`` over ``quorum_system``.
+
+    ``params`` supplies the protocol's tuning knobs (see
+    :data:`PROTOCOL_PARAM_KEYS`, validated by :func:`validate_protocol_params`).
+    """
+    params = dict(params or {})
+    validate_protocol_params(kind, params)
+    if kind == "register":
+        if params.get("classical", False):
+            return classical_register_factory(quorum_system)
+        return gqs_register_factory(
+            quorum_system,
+            push_interval=params.get("push_interval", 1.0),
+            relay=params.get("relay", True),
+        )
+    if kind == "snapshot":
+        return snapshot_factory(quorum_system, push_interval=params.get("push_interval", 1.0))
+    if kind == "lattice":
+        lattice = params.get("lattice")
+        return lattice_agreement_factory(
+            quorum_system,
+            lattice=lattice if lattice is not None else SetLattice(),
+            push_interval=params.get("push_interval", 1.0),
+        )
+    if kind == "consensus":
+        return consensus_factory(quorum_system, view_duration=params.get("view_duration", 5.0))
+    return paxos_factory(
+        sorted_processes(quorum_system.processes),
+        retry_timeout=params.get("retry_timeout", 20.0),
+    )
+
+
+def client_schedule(
+    kind: str,
+    invoking: Sequence[ProcessId],
+    ops_per_process: int = 2,
+    op_spacing: Optional[float] = None,
+) -> List[Invocation]:
+    """The canonical client plan for protocol ``kind`` over ``invoking`` processes.
+
+    * ``register`` — each process issues ``ops_per_process`` operations,
+      alternating writes (of unique values) and reads, rounds ``op_spacing``
+      apart and staggered within a round so operations overlap;
+    * ``snapshot`` — ``ops_per_process`` writes per process to its own
+      segment, then one scan per process;
+    * ``lattice`` — every process proposes the singleton set of its own id,
+      ``op_spacing`` apart;
+    * ``consensus`` / ``paxos`` — every process proposes a unique value,
+      ``op_spacing`` apart.
+    """
+    if kind not in PROTOCOL_KINDS:
+        raise ReproError(
+            "unknown protocol kind {!r}; expected one of {}".format(kind, list(PROTOCOL_KINDS))
+        )
+    spacing = op_spacing if op_spacing is not None else WORKLOAD_DEFAULTS[kind]["op_spacing"]
+    stagger = spacing / max(len(invoking), 1)
+    plan: List[Invocation] = []
+    if kind == "register":
+        for op_index in range(ops_per_process):
+            for proc_index, pid in enumerate(invoking):
+                at = 1.0 + op_index * spacing + proc_index * stagger
+                if op_index % 2 == 0:
+                    plan.append(Invocation(at, pid, "write", ("{}#{}".format(pid, op_index),)))
+                else:
+                    plan.append(Invocation(at, pid, "read"))
+    elif kind == "snapshot":
+        for op_index in range(ops_per_process):
+            for proc_index, pid in enumerate(invoking):
+                at = 1.0 + op_index * spacing + proc_index * stagger
+                plan.append(Invocation(at, pid, "write", ("{}#{}".format(pid, op_index),)))
+        scan_start = 1.0 + ops_per_process * spacing
+        for proc_index, pid in enumerate(invoking):
+            plan.append(Invocation(scan_start + proc_index * 2.0, pid, "scan"))
+    elif kind == "lattice":
+        for proc_index, pid in enumerate(invoking):
+            plan.append(Invocation(1.0 + proc_index * spacing, pid, "propose", (frozenset({pid}),)))
+    else:  # consensus, paxos
+        for proc_index, pid in enumerate(invoking):
+            plan.append(
+                Invocation(1.0 + proc_index * spacing, pid, "propose", ("value-from-{}".format(pid),))
+            )
+    return plan
+
+
+def execute_workload(
+    quorum_system: GeneralizedQuorumSystem,
+    factory: Any,
+    schedule: Sequence[Invocation],
+    delay_model: DelayModel,
+    pattern: Optional[FailurePattern] = None,
+    inject_at: Optional[float] = None,
+    max_time: float = 4_000.0,
+    extra: Optional[Dict[str, Any]] = None,
+) -> WorkloadResult:
+    """Run one simulated workload: build the cluster, inject, execute, collect.
+
+    ``inject_at`` schedules the failure injection for a simulated time instead
+    of time zero — churn scenarios use it to let failures arrive mid-run (for
+    example exactly at GST).
+    """
+    cluster = Cluster(
+        sorted_processes(quorum_system.processes), factory, delay_model=delay_model
+    )
+    if pattern is not None:
+        cluster.apply_failure_pattern(pattern, at_time=inject_at)
+    deferred = [
+        cluster.invoke_at(inv.at, inv.pid, inv.method, *inv.args) for inv in schedule
+    ]
+    cluster.run(max_time=max_time, stop_when=lambda: all(d.done for d in deferred))
+    completed = all(d.done for d in deferred)
+    handles = [d.handle for d in deferred if d.handle is not None]
+    history = History.from_handles(handles)
+    return WorkloadResult(
+        history=history,
+        metrics=_collect_metrics(cluster, history),
+        completed=completed,
+        cluster=cluster,
+        extra=dict(extra or {}),
+    )
+
+
+def run_workload(
+    kind: str,
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern] = None,
+    inject_at: Optional[float] = None,
+    delay_model: Optional[DelayModel] = None,
+    protocol_params: Optional[Mapping[str, Any]] = None,
+    ops_per_process: int = 2,
+    op_spacing: Optional[float] = None,
+    max_time: Optional[float] = None,
+    invokers: Optional[Sequence[ProcessId]] = None,
+    seed: int = 0,
+) -> WorkloadResult:
+    """Run protocol ``kind``'s canonical workload — the spec-driven front-end.
+
+    Defaults follow the paper's evaluation set-up: operations are invoked at
+    the termination component ``U_f`` of ``pattern`` (all processes when
+    failure-free), delays are uniform for the asynchronous objects and
+    partially synchronous (GST 30, delta 1) for consensus and the Paxos
+    baseline, and the liveness horizon is protocol-specific
+    (:data:`WORKLOAD_DEFAULTS`).
+    """
+    if kind not in PROTOCOL_KINDS:
+        raise ReproError(
+            "unknown protocol kind {!r}; expected one of {}".format(kind, list(PROTOCOL_KINDS))
+        )
+    if delay_model is None:
+        if kind in ("consensus", "paxos"):
+            delay_model = PartialSynchronyDelay(gst=30.0, delta=1.0, seed=seed)
+        else:
+            delay_model = UniformDelay(0.4, 1.6, seed=seed)
+    factory = build_protocol_factory(kind, quorum_system, protocol_params)
+    invoking = (
+        list(invokers) if invokers is not None else default_invokers(quorum_system, pattern)
+    )
+    schedule = client_schedule(kind, invoking, ops_per_process=ops_per_process, op_spacing=op_spacing)
+    horizon = max_time if max_time is not None else WORKLOAD_DEFAULTS[kind]["max_time"]
+    result = execute_workload(
+        quorum_system,
+        factory,
+        schedule,
+        delay_model=delay_model,
+        pattern=pattern,
+        inject_at=inject_at,
+        max_time=horizon,
+        extra={"invokers": invoking, "protocol": kind},
+    )
+    if kind == "consensus":
+        result.extra["decided_values"] = sorted(
+            {h.result for h in result.cluster.handles if h.done}, key=repr
+        )
+    return result
+
+
+def evaluate_safety(
+    kind: str,
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern],
+    result: WorkloadResult,
+) -> bool:
+    """The paper's safety verdict for a finished run of protocol ``kind``.
+
+    Registers and snapshots are checked for linearizability, lattice agreement
+    for its comparability/validity properties, consensus for agreement +
+    validity + termination at ``U_f``.  The Paxos baseline makes no claim
+    under channel failures, so it always passes.
+    """
+    if kind == "register":
+        return bool(check_register_linearizability(result.history, initial_value=0))
+    if kind == "snapshot":
+        return bool(
+            check_snapshot_linearizability(
+                result.history,
+                segment_ids=sorted_processes(quorum_system.processes),
+                initial_value=None,
+            )
+        )
+    if kind == "lattice":
+        return check_lattice_agreement(result.history).ok
+    if kind == "consensus":
+        required = (
+            quorum_system.termination_component(pattern)
+            if pattern is not None
+            else quorum_system.processes
+        )
+        return check_consensus(result.history, required_to_terminate=required).ok
+    return True
 
 
 # ---------------------------------------------------------------------- #
@@ -80,47 +370,22 @@ def run_register_workload(
 ) -> WorkloadResult:
     """Run an alternating write/read workload on the register protocol.
 
-    Each invoking process issues ``ops_per_process`` operations, alternating
-    writes (of unique values) and reads, staggered ``op_spacing`` time units
-    apart so that operations from different processes overlap.  When
-    ``classical`` is true the ABD baseline over request/response access is used
-    instead of the GQS register.
+    When ``classical`` is true the ABD baseline over request/response access
+    is used instead of the GQS register.
     """
-    factory = (
-        classical_register_factory(quorum_system)
-        if classical
-        else gqs_register_factory(quorum_system, push_interval=push_interval, relay=relay)
+    result = run_workload(
+        "register",
+        quorum_system,
+        pattern=pattern,
+        protocol_params={"classical": classical, "push_interval": push_interval, "relay": relay},
+        ops_per_process=ops_per_process,
+        op_spacing=op_spacing,
+        max_time=max_time,
+        invokers=invokers,
+        seed=seed,
     )
-    cluster = Cluster(
-        sorted_processes(quorum_system.processes),
-        factory,
-        delay_model=UniformDelay(0.4, 1.6, seed=seed),
-    )
-    if pattern is not None:
-        cluster.apply_failure_pattern(pattern)
-
-    invoking = list(invokers) if invokers is not None else _termination_set(quorum_system, pattern)
-    deferred = []
-    for op_index in range(ops_per_process):
-        for proc_index, pid in enumerate(invoking):
-            at = 1.0 + op_index * op_spacing + proc_index * (op_spacing / max(len(invoking), 1))
-            if op_index % 2 == 0:
-                value = "{}#{}".format(pid, op_index)
-                deferred.append(cluster.invoke_at(at, pid, "write", value))
-            else:
-                deferred.append(cluster.invoke_at(at, pid, "read"))
-
-    cluster.run(max_time=max_time, stop_when=lambda: all(d.done for d in deferred))
-    completed = all(d.done for d in deferred)
-    handles = [d.handle for d in deferred if d.handle is not None]
-    history = History.from_handles(handles)
-    return WorkloadResult(
-        history=history,
-        metrics=_collect_metrics(cluster, history),
-        completed=completed,
-        cluster=cluster,
-        extra={"invokers": invoking, "classical": classical},
-    )
+    result.extra["classical"] = classical
+    return result
 
 
 def compare_register_overhead(
@@ -159,34 +424,15 @@ def run_snapshot_workload(
     seed: int = 0,
 ) -> WorkloadResult:
     """Each invoking process writes unique values to its segment and then scans."""
-    cluster = Cluster(
-        sorted_processes(quorum_system.processes),
-        snapshot_factory(quorum_system, push_interval=push_interval),
-        delay_model=UniformDelay(0.4, 1.6, seed=seed),
-    )
-    if pattern is not None:
-        cluster.apply_failure_pattern(pattern)
-    invoking = _termination_set(quorum_system, pattern)
-
-    deferred = []
-    for op_index in range(writes_per_process):
-        for proc_index, pid in enumerate(invoking):
-            at = 1.0 + op_index * op_spacing + proc_index * (op_spacing / max(len(invoking), 1))
-            deferred.append(cluster.invoke_at(at, pid, "write", "{}#{}".format(pid, op_index)))
-    scan_start = 1.0 + writes_per_process * op_spacing
-    for proc_index, pid in enumerate(invoking):
-        deferred.append(cluster.invoke_at(scan_start + proc_index * 2.0, pid, "scan"))
-
-    cluster.run(max_time=max_time, stop_when=lambda: all(d.done for d in deferred))
-    completed = all(d.done for d in deferred)
-    handles = [d.handle for d in deferred if d.handle is not None]
-    history = History.from_handles(handles)
-    return WorkloadResult(
-        history=history,
-        metrics=_collect_metrics(cluster, history),
-        completed=completed,
-        cluster=cluster,
-        extra={"invokers": invoking},
+    return run_workload(
+        "snapshot",
+        quorum_system,
+        pattern=pattern,
+        protocol_params={"push_interval": push_interval},
+        ops_per_process=writes_per_process,
+        op_spacing=op_spacing,
+        max_time=max_time,
+        seed=seed,
     )
 
 
@@ -200,31 +446,16 @@ def run_lattice_workload(
 ) -> WorkloadResult:
     """Every invoking process proposes a singleton set; outputs must be comparable joins."""
     lattice = lattice if lattice is not None else SetLattice()
-    cluster = Cluster(
-        sorted_processes(quorum_system.processes),
-        lattice_agreement_factory(quorum_system, lattice=lattice, push_interval=push_interval),
-        delay_model=UniformDelay(0.4, 1.6, seed=seed),
+    result = run_workload(
+        "lattice",
+        quorum_system,
+        pattern=pattern,
+        protocol_params={"lattice": lattice, "push_interval": push_interval},
+        max_time=max_time,
+        seed=seed,
     )
-    if pattern is not None:
-        cluster.apply_failure_pattern(pattern)
-    invoking = _termination_set(quorum_system, pattern)
-
-    deferred = []
-    for proc_index, pid in enumerate(invoking):
-        proposal = frozenset({pid})
-        deferred.append(cluster.invoke_at(1.0 + proc_index * 3.0, pid, "propose", proposal))
-
-    cluster.run(max_time=max_time, stop_when=lambda: all(d.done for d in deferred))
-    completed = all(d.done for d in deferred)
-    handles = [d.handle for d in deferred if d.handle is not None]
-    history = History.from_handles(handles)
-    return WorkloadResult(
-        history=history,
-        metrics=_collect_metrics(cluster, history),
-        completed=completed,
-        cluster=cluster,
-        extra={"invokers": invoking, "lattice": lattice},
-    )
+    result.extra["lattice"] = lattice
+    return result
 
 
 # ---------------------------------------------------------------------- #
@@ -241,37 +472,18 @@ def run_consensus_workload(
     seed: int = 0,
 ) -> WorkloadResult:
     """Run the Figure 6 consensus protocol under partial synchrony."""
-    cluster = Cluster(
-        sorted_processes(quorum_system.processes),
-        consensus_factory(quorum_system, view_duration=view_duration),
+    result = run_workload(
+        "consensus",
+        quorum_system,
+        pattern=pattern,
         delay_model=PartialSynchronyDelay(gst=gst, delta=delta, seed=seed),
+        protocol_params={"view_duration": view_duration},
+        max_time=max_time,
+        invokers=proposers,
+        seed=seed,
     )
-    if pattern is not None:
-        cluster.apply_failure_pattern(pattern)
-    invoking = (
-        list(proposers) if proposers is not None else _termination_set(quorum_system, pattern)
-    )
-
-    deferred = []
-    for proc_index, pid in enumerate(invoking):
-        deferred.append(
-            cluster.invoke_at(1.0 + proc_index * 1.5, pid, "propose", "value-from-{}".format(pid))
-        )
-
-    cluster.run(max_time=max_time, stop_when=lambda: all(d.done for d in deferred))
-    completed = all(d.done for d in deferred)
-    handles = [d.handle for d in deferred if d.handle is not None]
-    history = History.from_handles(handles)
-    decided = sorted(
-        {h.result for h in handles if h.done}, key=repr
-    )
-    return WorkloadResult(
-        history=history,
-        metrics=_collect_metrics(cluster, history),
-        completed=completed,
-        cluster=cluster,
-        extra={"invokers": invoking, "decided_values": decided, "gst": gst, "delta": delta},
-    )
+    result.extra.update({"gst": gst, "delta": delta})
+    return result
 
 
 def run_paxos_baseline_workload(
@@ -285,32 +497,13 @@ def run_paxos_baseline_workload(
     seed: int = 0,
 ) -> WorkloadResult:
     """Run the classical request/response Paxos baseline under the same conditions."""
-    process_ids = sorted_processes(quorum_system.processes)
-    cluster = Cluster(
-        process_ids,
-        paxos_factory(process_ids, retry_timeout=retry_timeout),
+    return run_workload(
+        "paxos",
+        quorum_system,
+        pattern=pattern,
         delay_model=PartialSynchronyDelay(gst=gst, delta=delta, seed=seed),
-    )
-    if pattern is not None:
-        cluster.apply_failure_pattern(pattern)
-    invoking = (
-        list(proposers) if proposers is not None else _termination_set(quorum_system, pattern)
-    )
-
-    deferred = []
-    for proc_index, pid in enumerate(invoking):
-        deferred.append(
-            cluster.invoke_at(1.0 + proc_index * 1.5, pid, "propose", "value-from-{}".format(pid))
-        )
-
-    cluster.run(max_time=max_time, stop_when=lambda: all(d.done for d in deferred))
-    completed = all(d.done for d in deferred)
-    handles = [d.handle for d in deferred if d.handle is not None]
-    history = History.from_handles(handles)
-    return WorkloadResult(
-        history=history,
-        metrics=_collect_metrics(cluster, history),
-        completed=completed,
-        cluster=cluster,
-        extra={"invokers": invoking},
+        protocol_params={"retry_timeout": retry_timeout},
+        max_time=max_time,
+        invokers=proposers,
+        seed=seed,
     )

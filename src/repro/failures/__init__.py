@@ -3,8 +3,11 @@
 from .pattern import NO_FAILURES, FailurePattern
 from .failprone import FailProneSystem
 from .generators import (
+    TOPOLOGY_KINDS,
     adversarial_partition_system,
     all_crash_patterns,
+    build_fail_prone_system,
+    builtin_fail_prone_system,
     geo_replicated_system,
     random_fail_prone_system,
     random_failure_pattern,
@@ -15,8 +18,11 @@ __all__ = [
     "NO_FAILURES",
     "FailurePattern",
     "FailProneSystem",
+    "TOPOLOGY_KINDS",
     "adversarial_partition_system",
     "all_crash_patterns",
+    "build_fail_prone_system",
+    "builtin_fail_prone_system",
     "geo_replicated_system",
     "random_fail_prone_system",
     "random_failure_pattern",

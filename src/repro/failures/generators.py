@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..errors import ReproError
 from ..graph import DiGraph
 from ..types import Channel, ProcessId, sorted_processes
 from .failprone import FailProneSystem
@@ -207,3 +208,78 @@ def all_crash_patterns(processes: Sequence[ProcessId], k: int) -> List[FailurePa
         FailurePattern.crash_only(combo)
         for combo in itertools.combinations(sorted_processes(set(processes)), k)
     ]
+
+
+# ---------------------------------------------------------------------- #
+# Declarative construction (used by the CLI and the scenario subsystem)
+# ---------------------------------------------------------------------- #
+def _figure1_topology(**params: Any) -> FailProneSystem:
+    from ..analysis import figure1_fail_prone_system  # deferred: analysis imports failures
+
+    return figure1_fail_prone_system(**params)
+
+
+def _figure1_modified_topology(**params: Any) -> FailProneSystem:
+    from ..analysis import figure1_modified_fail_prone_system
+
+    return figure1_modified_fail_prone_system(**params)
+
+
+def _minority_topology(n: int = 5, name: Optional[str] = None) -> FailProneSystem:
+    return FailProneSystem.minority_crashes(
+        ["p{}".format(i) for i in range(n)], name=name or "minority(n={})".format(n)
+    )
+
+
+#: Topology kind -> builder of the corresponding fail-prone system.  Every
+#: builder takes only JSON-representable keyword parameters, so a topology can
+#: be described declaratively in a scenario file.
+TOPOLOGY_KINDS: Dict[str, Any] = {
+    "figure1": _figure1_topology,
+    "figure1-modified": _figure1_modified_topology,
+    "ring": ring_unidirectional_system,
+    "geo": geo_replicated_system,
+    "minority": _minority_topology,
+    "adversarial-partition": adversarial_partition_system,
+    "random": random_fail_prone_system,
+}
+
+
+def build_fail_prone_system(kind: str, params: Optional[Mapping[str, Any]] = None) -> FailProneSystem:
+    """Build a fail-prone system from a declarative ``(kind, params)`` description."""
+    if kind not in TOPOLOGY_KINDS:
+        raise ReproError(
+            "unknown topology kind {!r}; expected one of {}".format(kind, sorted(TOPOLOGY_KINDS))
+        )
+    try:
+        return TOPOLOGY_KINDS[kind](**dict(params or {}))
+    except TypeError as error:
+        raise ReproError("invalid parameters for topology {!r}: {}".format(kind, error))
+
+
+def builtin_fail_prone_system(name: str) -> FailProneSystem:
+    """Resolve a built-in fail-prone system from its CLI name.
+
+    Accepted names: ``figure1``, ``figure1-modified``, ``ring-<n>``,
+    ``geo-<sites>x<replicas>``, ``minority-<n>`` and ``adversarial-<n>``.
+    """
+    try:
+        if name == "figure1":
+            return _figure1_topology()
+        if name == "figure1-modified":
+            return _figure1_modified_topology()
+        if name.startswith("ring-"):
+            return ring_unidirectional_system(int(name.split("-", 1)[1]))
+        if name.startswith("geo-"):
+            sites, replicas = name.split("-", 1)[1].split("x")
+            return geo_replicated_system(sites=int(sites), replicas_per_site=int(replicas))
+        if name.startswith("minority-"):
+            return _minority_topology(int(name.split("-", 1)[1]))
+        if name.startswith("adversarial-"):
+            return adversarial_partition_system(int(name.split("-", 1)[1]))
+    except ValueError:
+        pass
+    raise ReproError(
+        "unknown built-in system {!r}; use figure1, figure1-modified, ring-<n>, "
+        "geo-<sites>x<replicas>, minority-<n> or adversarial-<n>".format(name)
+    )

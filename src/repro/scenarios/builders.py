@@ -1,0 +1,124 @@
+"""Materialize declarative scenario specs into runnable simulations.
+
+The builders bridge :class:`~repro.scenarios.spec.ScenarioSpec` and the
+concrete layers below it: the topology spec becomes a
+:class:`~repro.failures.FailProneSystem` (via the generator registry or an
+inline description), the GQS decision procedure supplies the quorum system the
+protocols run over, and :func:`run_scenario_once` executes one seeded
+simulation through the spec-driven workload layer
+(:mod:`repro.experiments.workloads`).
+
+``run_scenario_once`` is a module-level function of picklable arguments on
+purpose: the engine fans scenario runs out across worker processes, and each
+worker rebuilds the simulation from the spec — nothing runtime-dependent
+crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..errors import ReproError
+from ..experiments import evaluate_safety, run_workload
+from ..failures import FailProneSystem, FailurePattern, build_fail_prone_system
+from ..quorums import GeneralizedQuorumSystem, discover_gqs
+from ..serialization import fail_prone_system_from_dict
+from ..sim import build_delay_model
+from .spec import EXPLICIT_TOPOLOGY, ScenarioSpec
+
+__all__ = [
+    "build_quorum_system",
+    "build_topology",
+    "resolve_pattern",
+    "run_built_scenario",
+    "run_scenario_once",
+]
+
+
+def build_topology(scenario: ScenarioSpec) -> FailProneSystem:
+    """Build the scenario's fail-prone system from its topology spec."""
+    topology = scenario.topology
+    if topology.kind == EXPLICIT_TOPOLOGY:
+        if "system" not in topology.params:
+            raise ReproError(
+                "explicit topology of scenario {!r} must carry a 'system' description".format(
+                    scenario.name
+                )
+            )
+        return fail_prone_system_from_dict(topology.params["system"])
+    return build_fail_prone_system(topology.kind, topology.params)
+
+
+def build_quorum_system(
+    scenario: ScenarioSpec, system: Optional[FailProneSystem] = None
+) -> GeneralizedQuorumSystem:
+    """Discover the generalized quorum system the scenario's protocols run over."""
+    system = system if system is not None else build_topology(scenario)
+    result = discover_gqs(system)
+    if not result.exists or result.quorum_system is None:
+        raise ReproError(
+            "scenario {!r}: the fail-prone system admits no generalized quorum system "
+            "(by Theorem 2 its failure assumptions are not tolerable)".format(scenario.name)
+        )
+    return result.quorum_system
+
+
+def resolve_pattern(
+    scenario: ScenarioSpec, system: FailProneSystem
+) -> Optional[FailurePattern]:
+    """Resolve the scenario's failure-pattern name against the built topology."""
+    name = scenario.failure.pattern
+    if name is None:
+        return None
+    matches = [f for f in system.patterns if f.name == name]
+    if not matches:
+        raise ReproError(
+            "scenario {!r} injects unknown pattern {!r}; available: {}".format(
+                scenario.name, name, [f.name for f in system.patterns]
+            )
+        )
+    return matches[0]
+
+
+def run_scenario_once(scenario: ScenarioSpec, seed: int) -> Dict[str, Any]:
+    """Build a scenario from scratch and execute one seeded run."""
+    system = build_topology(scenario)
+    quorum_system = build_quorum_system(scenario, system)
+    pattern = resolve_pattern(scenario, system)
+    return run_built_scenario(scenario, quorum_system, pattern, seed)
+
+
+def run_built_scenario(
+    scenario: ScenarioSpec,
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern],
+    seed: int,
+) -> Dict[str, Any]:
+    """Execute one seeded run of an already-materialized scenario.
+
+    The engine runner builds the topology and runs GQS discovery once per
+    scenario in the parent process and ships the (picklable) results to the
+    workers, so an N-run batch performs one discovery, not N.
+    Returns a flat, picklable row.
+    """
+    kind = scenario.protocol.kind
+    result = run_workload(
+        kind,
+        quorum_system,
+        pattern=pattern,
+        inject_at=scenario.failure.at_time,
+        delay_model=build_delay_model(scenario.delay.kind, scenario.delay.params, seed=seed),
+        protocol_params=scenario.protocol.params,
+        ops_per_process=scenario.workload.ops_per_process,
+        op_spacing=scenario.workload.op_spacing,
+        max_time=scenario.workload.max_time,
+        seed=seed,
+    )
+    return {
+        "completed": result.completed,
+        "safe": evaluate_safety(kind, quorum_system, pattern, result),
+        "operations": result.metrics.operations,
+        "mean_latency": result.metrics.mean_latency,
+        "max_latency": result.metrics.max_latency,
+        "messages": result.metrics.messages_sent,
+    }

@@ -1,0 +1,240 @@
+"""Execute scenarios through the parallel experiment engine.
+
+A scenario run is a batch of independently seeded protocol simulations.  Each
+simulation is one engine shard (:data:`SCENARIO_CHUNK_SIZE` is 1: a whole
+discrete-event simulation is heavyweight, so per-run sharding maximises
+parallelism and keeps the run index equal to the shard index), with its seed
+spawned deterministically from the root seed and the scenario name.  The
+engine contract therefore carries over verbatim: **the result table of
+``repro scenario run <name> --seed S --jobs N`` is byte-identical for every
+``N``** — and a sweep over several scenarios shares one worker pool, so
+parallelism spans the whole sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..analysis.metrics import ResultTable
+from ..engine import ExperimentSpec, ParallelRunner, ProgressCallback, ShardSpec
+from ..errors import ReproError
+from .builders import build_quorum_system, build_topology, resolve_pattern, run_built_scenario
+from .registry import get_scenario
+from .spec import ScenarioSpec
+
+__all__ = [
+    "SCENARIO_CHUNK_SIZE",
+    "ScenarioRunResult",
+    "run_scenario",
+    "sweep_scenarios",
+    "sweep_table",
+]
+
+#: One simulation per engine shard (see module docstring).
+SCENARIO_CHUNK_SIZE = 1
+
+#: Columns of a scenario's per-run result table.
+RUN_COLUMNS = ("run", "completed", "safe", "operations", "mean_latency", "max_latency", "messages")
+
+
+def _scenario_experiment_spec(scenario: ScenarioSpec, runs: int, seed: int) -> ExperimentSpec:
+    """The engine spec for ``runs`` seeded executions of ``scenario``.
+
+    Topology construction, GQS discovery and pattern resolution happen here,
+    once per scenario in the parent process; workers receive the materialized
+    (picklable) quorum system and pattern, so an N-run batch performs one
+    discovery, not N — and an intolerable or misdeclared scenario fails before
+    any run starts.
+    """
+    if runs < 1:
+        raise ReproError(
+            "a scenario batch needs at least 1 run (got {}); a zero-run batch "
+            "would report vacuous liveness/safety".format(runs)
+        )
+    system = build_topology(scenario)
+    return ExperimentSpec(
+        name="scenario/{}".format(scenario.name),
+        samples=runs,
+        seed=seed,
+        params={
+            "scenario": scenario,
+            "quorum_system": build_quorum_system(scenario, system),
+            "pattern": resolve_pattern(scenario, system),
+        },
+        chunk_size=SCENARIO_CHUNK_SIZE,
+    )
+
+
+def _scenario_shard(spec: ExperimentSpec, shard: ShardSpec) -> Dict[str, Any]:
+    """Run one scenario simulation (executes inside a worker process)."""
+    row = run_built_scenario(
+        spec.params["scenario"],
+        spec.params["quorum_system"],
+        spec.params["pattern"],
+        seed=shard.seed,
+    )
+    row["run"] = shard.index
+    return row
+
+
+def _merge_rows(spec: ExperimentSpec, rows: List[Dict[str, Any]]) -> "ScenarioRunResult":
+    return ScenarioRunResult(scenario=spec.params["scenario"], seed=spec.seed, rows=rows)
+
+
+@dataclass
+class ScenarioRunResult:
+    """All per-run rows of one scenario execution, plus aggregates."""
+
+    scenario: ScenarioSpec
+    seed: int
+    rows: List[Dict[str, Any]]
+
+    @property
+    def runs(self) -> int:
+        return len(self.rows)
+
+    @property
+    def completed_runs(self) -> int:
+        return sum(1 for row in self.rows if row["completed"])
+
+    @property
+    def safe_runs(self) -> int:
+        return sum(1 for row in self.rows if row["safe"])
+
+    @property
+    def all_completed(self) -> bool:
+        return self.completed_runs == self.runs
+
+    @property
+    def all_safe(self) -> bool:
+        return self.safe_runs == self.runs
+
+    @property
+    def ok(self) -> bool:
+        """Liveness + safety across all runs (the Paxos baseline is exempt
+        from the safety claim, see :func:`repro.experiments.evaluate_safety`)."""
+        return self.all_completed and self.all_safe
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(row["mean_latency"] for row in self.rows) / len(self.rows)
+
+    @property
+    def max_latency(self) -> float:
+        return max((row["max_latency"] for row in self.rows), default=0.0)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(row["messages"] for row in self.rows)
+
+    def run_table(self) -> ResultTable:
+        """Per-run results as an ASCII table (byte-identical across job counts)."""
+        table = ResultTable(
+            title="scenario {!r}: {} run(s), seeds spawned from {}".format(
+                self.scenario.name, self.runs, self.seed
+            ),
+            columns=RUN_COLUMNS,
+        )
+        for row in self.rows:
+            table.add_row(**{column: row[column] for column in RUN_COLUMNS})
+        return table
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "runs": self.runs,
+            "completed_runs": self.completed_runs,
+            "safe_runs": self.safe_runs,
+            "all_completed": self.all_completed,
+            "all_safe": self.all_safe,
+            "mean_latency": self.mean_latency,
+            "max_latency": self.max_latency,
+            "total_messages": self.total_messages,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "seed": self.seed,
+            "rows": [dict(row) for row in self.rows],
+            "summary": self.summary(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def run_scenario(
+    scenario: Union[str, ScenarioSpec],
+    runs: Optional[int] = None,
+    seed: int = 0,
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> ScenarioRunResult:
+    """Run a scenario ``runs`` times with deterministically spawned seeds.
+
+    ``scenario`` is a registered name or an explicit spec; ``runs`` defaults
+    to the scenario's ``default_runs``.  The result depends only on
+    ``(scenario, runs, seed)`` — never on ``jobs``.
+    """
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    budget = runs if runs is not None else spec.default_runs
+    runner = runner if runner is not None else ParallelRunner(jobs=jobs, progress=progress)
+    return runner.run(_scenario_experiment_spec(spec, budget, seed), _scenario_shard, _merge_rows)
+
+
+def sweep_scenarios(
+    scenarios: Optional[Sequence[Union[str, ScenarioSpec]]] = None,
+    runs: Optional[int] = None,
+    seed: int = 0,
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> List[ScenarioRunResult]:
+    """Run several scenarios (default: the whole registry) over one worker pool.
+
+    All scenarios' runs flow through a single flattened shard stream, so
+    ``jobs`` workers stay busy across scenario boundaries; each scenario's
+    result is still exactly what :func:`run_scenario` would produce for it.
+    """
+    from .registry import all_scenarios
+
+    chosen = scenarios if scenarios is not None else all_scenarios()
+    specs = [get_scenario(s) if isinstance(s, str) else s for s in chosen]
+    runner = runner if runner is not None else ParallelRunner(jobs=jobs, progress=progress)
+    experiment_specs = [
+        _scenario_experiment_spec(spec, runs if runs is not None else spec.default_runs, seed)
+        for spec in specs
+    ]
+    return runner.run_sharded(experiment_specs, _scenario_shard, _merge_rows)
+
+
+def sweep_table(results: Sequence[ScenarioRunResult]) -> ResultTable:
+    """One summary row per scenario of a sweep."""
+    table = ResultTable(
+        title="scenario sweep",
+        columns=(
+            "scenario",
+            "protocol",
+            "runs",
+            "completed",
+            "safe",
+            "mean_latency",
+            "messages",
+        ),
+    )
+    for result in results:
+        table.add_row(
+            scenario=result.scenario.name,
+            protocol=result.scenario.protocol.kind,
+            runs=result.runs,
+            completed="{}/{}".format(result.completed_runs, result.runs),
+            safe="{}/{}".format(result.safe_runs, result.runs),
+            mean_latency=result.mean_latency,
+            messages=result.total_messages,
+        )
+    return table

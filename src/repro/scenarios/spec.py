@@ -1,0 +1,288 @@
+"""Serializable scenario specifications.
+
+A :class:`ScenarioSpec` names one complete evaluation set-up declaratively:
+
+* a **topology** (which fail-prone system generator to instantiate, with its
+  parameters — or an explicit inline system description);
+* a **failure** selection (which of the topology's patterns to inject, and
+  when — time zero or mid-run, e.g. exactly at GST);
+* a **delay model** (fixed, uniform, or partial synchrony);
+* a **protocol** (register, snapshot, lattice agreement, consensus, or the
+  Paxos baseline, with tuning knobs);
+* a **client workload** (operations per process, spacing, liveness horizon).
+
+Every component is a plain-data dataclass, and the whole spec round-trips
+through JSON (via :meth:`ScenarioSpec.to_dict` / :meth:`ScenarioSpec.from_dict`,
+building on :mod:`repro.serialization` for inline fail-prone systems), so
+scenarios can live in files, be diffed, and be shipped to worker processes.
+Run-specific state (seeds, job counts) deliberately never appears in a spec:
+a scenario is *what* to run, the engine decides *how*.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import ReproError
+from ..experiments import validate_protocol_params
+from ..failures import TOPOLOGY_KINDS
+from ..sim import DELAY_MODEL_KINDS
+
+__all__ = [
+    "DelaySpec",
+    "FailureSpec",
+    "ProtocolSpec",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "load_scenario",
+    "save_scenario",
+]
+
+#: Topology kind for an inline fail-prone system description (see
+#: :mod:`repro.serialization`); handled by the scenario builders rather than
+#: by :data:`repro.failures.TOPOLOGY_KINDS`.
+EXPLICIT_TOPOLOGY = "explicit"
+
+
+def _require_mapping(data: Any, what: str) -> Dict[str, Any]:
+    if not isinstance(data, dict):
+        raise ReproError("{} must be an object, got {!r}".format(what, data))
+    return data
+
+
+def _label_params(params: Dict[str, Any]) -> str:
+    """Compact ``key=value`` rendering of a parameter dict, in key order."""
+    return ", ".join("{}={}".format(key, params[key]) for key in sorted(params))
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Which fail-prone system to build: a generator kind plus its parameters."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind != EXPLICIT_TOPOLOGY and self.kind not in TOPOLOGY_KINDS:
+            raise ReproError(
+                "unknown topology kind {!r}; expected one of {}".format(
+                    self.kind, sorted(TOPOLOGY_KINDS) + [EXPLICIT_TOPOLOGY]
+                )
+            )
+        # A scenario's results must depend only on (scenario, runs, seed); a
+        # randomly sampled topology without a pinned seed would redraw the
+        # fail-prone system on every build and break that contract.
+        if self.kind == "random" and self.params.get("seed") is None:
+            raise ReproError(
+                "topology kind 'random' requires an explicit integer 'seed' parameter "
+                "in a scenario (results must not depend on OS entropy)"
+            )
+
+    def label(self) -> str:
+        if self.kind == EXPLICIT_TOPOLOGY:
+            return "explicit"
+        return "{}({})".format(self.kind, _label_params(self.params))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TopologySpec":
+        data = _require_mapping(data, "topology spec")
+        return cls(kind=data.get("kind", ""), params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Which failure pattern to inject, and at what simulated time.
+
+    ``pattern`` names one of the topology's patterns (``None`` = failure-free
+    run); ``at_time`` schedules the injection mid-run (``None`` = time zero),
+    which is how churn scenarios make failures arrive exactly at GST.
+    """
+
+    pattern: Optional[str] = None
+    at_time: Optional[float] = None
+
+    def label(self) -> str:
+        if self.pattern is None:
+            return "none"
+        if self.at_time is None:
+            return "{} at t=0".format(self.pattern)
+        return "{} at t={}".format(self.pattern, self.at_time)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"pattern": self.pattern, "at_time": self.at_time}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FailureSpec":
+        data = _require_mapping(data, "failure spec")
+        at_time = data.get("at_time")
+        return cls(
+            pattern=data.get("pattern"),
+            at_time=float(at_time) if at_time is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class DelaySpec:
+    """Which delay model the network uses (see :data:`repro.sim.DELAY_MODEL_KINDS`)."""
+
+    kind: str = "uniform"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in DELAY_MODEL_KINDS:
+            raise ReproError(
+                "unknown delay model kind {!r}; expected one of {}".format(
+                    self.kind, sorted(DELAY_MODEL_KINDS)
+                )
+            )
+
+    def label(self) -> str:
+        return "{}({})".format(self.kind, _label_params(self.params))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DelaySpec":
+        data = _require_mapping(data, "delay spec")
+        return cls(kind=data.get("kind", "uniform"), params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Which protocol to run (see :data:`repro.experiments.PROTOCOL_KINDS`)."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        validate_protocol_params(self.kind, self.params)
+
+    def label(self) -> str:
+        if not self.params:
+            return self.kind
+        return "{}({})".format(self.kind, _label_params(self.params))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ProtocolSpec":
+        data = _require_mapping(data, "protocol spec")
+        return cls(kind=data.get("kind", ""), params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The client workload: operation count, spacing, and liveness horizon.
+
+    ``op_spacing`` and ``max_time`` default (``None``) to the protocol's
+    canonical values from :data:`repro.experiments.WORKLOAD_DEFAULTS`.
+    """
+
+    ops_per_process: int = 2
+    op_spacing: Optional[float] = None
+    max_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.ops_per_process < 1:
+            raise ReproError("ops_per_process must be at least 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ops_per_process": self.ops_per_process,
+            "op_spacing": self.op_spacing,
+            "max_time": self.max_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadSpec":
+        data = _require_mapping(data, "workload spec")
+        op_spacing = data.get("op_spacing")
+        max_time = data.get("max_time")
+        return cls(
+            ops_per_process=int(data.get("ops_per_process", 2)),
+            op_spacing=float(op_spacing) if op_spacing is not None else None,
+            max_time=float(max_time) if max_time is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, fully declarative evaluation scenario."""
+
+    name: str
+    description: str
+    paper_section: str
+    topology: TopologySpec
+    failure: FailureSpec
+    delay: DelaySpec
+    protocol: ProtocolSpec
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    default_runs: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("a scenario needs a non-empty name")
+        if self.default_runs < 1:
+            raise ReproError("default_runs must be at least 1")
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "paper_section": self.paper_section,
+            "topology": self.topology.to_dict(),
+            "failure": self.failure.to_dict(),
+            "delay": self.delay.to_dict(),
+            "protocol": self.protocol.to_dict(),
+            "workload": self.workload.to_dict(),
+            "default_runs": self.default_runs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        data = _require_mapping(data, "scenario spec")
+        for key in ("name", "topology", "protocol"):
+            if key not in data:
+                raise ReproError("scenario description is missing {!r}".format(key))
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            paper_section=data.get("paper_section", ""),
+            topology=TopologySpec.from_dict(data["topology"]),
+            failure=FailureSpec.from_dict(data.get("failure", {})),
+            delay=DelaySpec.from_dict(data.get("delay", {"kind": "uniform"})),
+            protocol=ProtocolSpec.from_dict(data["protocol"]),
+            workload=WorkloadSpec.from_dict(data.get("workload", {})),
+            default_runs=int(data.get("default_runs", 4)),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def load_scenario(path: str) -> ScenarioSpec:
+    """Load a scenario specification from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return ScenarioSpec.from_dict(json.load(handle))
+
+
+def save_scenario(scenario: ScenarioSpec, path: str) -> None:
+    """Write a scenario specification to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(scenario.to_dict(), handle, indent=2)
+        handle.write("\n")

@@ -1,6 +1,13 @@
 """Discrete-event simulation of the paper's asynchronous / partially synchronous network."""
 
-from .delays import DelayModel, FixedDelay, PartialSynchronyDelay, UniformDelay
+from .delays import (
+    DELAY_MODEL_KINDS,
+    DelayModel,
+    FixedDelay,
+    PartialSynchronyDelay,
+    UniformDelay,
+    build_delay_model,
+)
 from .events import Event, EventScheduler
 from .network import Network, NetworkStats
 from .process import NOT_READY, OperationHandle, Process, RelayEnvelope, WaitCondition
@@ -8,6 +15,7 @@ from .runtime import Cluster, DeferredInvocation
 
 __all__ = [
     "Cluster",
+    "DELAY_MODEL_KINDS",
     "DeferredInvocation",
     "DelayModel",
     "Event",
@@ -22,4 +30,5 @@ __all__ = [
     "RelayEnvelope",
     "UniformDelay",
     "WaitCondition",
+    "build_delay_model",
 ]

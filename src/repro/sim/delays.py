@@ -17,8 +17,9 @@ decided here.  Three models cover the paper's needs:
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional
 
+from ..errors import ReproError
 from ..types import Channel
 
 
@@ -110,3 +111,44 @@ class PartialSynchronyDelay(DelayModel):
 
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
+
+
+# ---------------------------------------------------------------------- #
+# Declarative construction (used by the scenario subsystem)
+# ---------------------------------------------------------------------- #
+#: Allowed keyword parameters for each delay-model kind.
+DELAY_MODEL_KINDS: Dict[str, tuple] = {
+    "fixed": ("latency",),
+    "uniform": ("min_delay", "max_delay"),
+    "partial-synchrony": ("gst", "delta", "pre_gst_max"),
+}
+
+
+def build_delay_model(
+    kind: str, params: Optional[Mapping[str, Any]] = None, seed: Optional[int] = 0
+) -> DelayModel:
+    """Build a delay model from a declarative ``(kind, params)`` description.
+
+    ``kind`` is one of :data:`DELAY_MODEL_KINDS`; ``params`` supplies the
+    model's keyword arguments (validated, so a typo in a scenario file fails
+    loudly instead of silently using a default).  ``seed`` feeds the model's
+    RNG and is supplied per run, which keeps the description itself free of
+    run-specific state.
+    """
+    params = dict(params or {})
+    if kind not in DELAY_MODEL_KINDS:
+        raise ReproError(
+            "unknown delay model kind {!r}; expected one of {}".format(
+                kind, sorted(DELAY_MODEL_KINDS)
+            )
+        )
+    unknown = set(params) - set(DELAY_MODEL_KINDS[kind])
+    if unknown:
+        raise ReproError(
+            "delay model {!r} does not accept parameter(s) {}".format(kind, sorted(unknown))
+        )
+    if kind == "fixed":
+        return FixedDelay(**params)
+    if kind == "uniform":
+        return UniformDelay(seed=seed, **params)
+    return PartialSynchronyDelay(seed=seed, **params)
