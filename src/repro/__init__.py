@@ -19,7 +19,10 @@ everything the PODC 2025 paper describes:
   experiment engine with deterministic sharded seeding (:mod:`repro.engine`);
 * a declarative scenario subsystem with a catalogue of named evaluation
   set-ups — topology + failures + delays + protocol + workload as one
-  JSON-serializable spec (:mod:`repro.scenarios`).
+  JSON-serializable spec (:mod:`repro.scenarios`);
+* a JSONL trace store and parallel replay-verification — record every run's
+  history and safety evidence, re-check it later with any checker and any
+  worker count (:mod:`repro.traces`).
 
 Quickstart::
 
@@ -43,6 +46,7 @@ from . import (
     scenarios,
     serialization,
     sim,
+    traces,
 )
 from .errors import (
     InvalidFailurePatternError,

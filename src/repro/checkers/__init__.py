@@ -5,7 +5,9 @@ from .lattice_checker import LatticeCheckResult, check_lattice_agreement
 from .linearizability import (
     DependencyGraphChecker,
     LinearizabilityResult,
+    StreamingRegisterChecker,
     check_register_linearizability,
+    check_register_witness_first,
 )
 from .snapshot_checker import check_snapshot_linearizability, scans_totally_ordered
 
@@ -14,9 +16,11 @@ __all__ = [
     "DependencyGraphChecker",
     "LatticeCheckResult",
     "LinearizabilityResult",
+    "StreamingRegisterChecker",
     "check_consensus",
     "check_lattice_agreement",
     "check_register_linearizability",
+    "check_register_witness_first",
     "check_snapshot_linearizability",
     "scans_totally_ordered",
 ]

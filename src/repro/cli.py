@@ -3,9 +3,15 @@
 Five commands cover the workflows a practitioner needs:
 
 ``check``
-    Decide whether a fail-prone system (from a JSON file or a built-in example)
-    admits a generalized quorum system; print the witness or report
-    impossibility.  Exit status 0 when a GQS exists, 2 when none does.
+    Two modes.  Without a positional argument: decide whether a fail-prone
+    system (from a JSON file or a built-in example) admits a generalized
+    quorum system; print the witness or report impossibility (exit 0 when a
+    GQS exists, 2 when none does).  With a trace directory
+    (``repro check DIR``): re-verify every recorded trace
+    (:mod:`repro.traces`) with the chosen ``--checker``, fanning the files
+    out over ``--jobs`` workers — the verdict table is byte-identical for
+    every job count.  Exit 0 iff every re-checked verdict matches the
+    recorded inline one.
 
 ``simulate``
     Run one of the paper's protocols (register, snapshot, lattice agreement,
@@ -44,7 +50,7 @@ from typing import Any, Dict, List, Optional
 from .analysis import run_all_examples
 from .engine import ParallelRunner, spawn_seeds
 from .errors import ReproError
-from .experiments import evaluate_safety, run_workload
+from .experiments import run_workload, safety_report
 from .failures import FailProneSystem, builtin_fail_prone_system
 from .montecarlo import admissibility_sweep, admissibility_table, reliability_sweep, reliability_table
 from .quorums import discover_gqs
@@ -58,6 +64,7 @@ from .scenarios import (
     sweep_table,
 )
 from .serialization import load_fail_prone_system
+from .traces import check_traces, write_run_trace
 
 
 def _jobs_value(text: str) -> int:
@@ -105,7 +112,34 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
 # ---------------------------------------------------------------------- #
 # check
 # ---------------------------------------------------------------------- #
+def _cmd_check_traces(args: argparse.Namespace) -> int:
+    """``repro check DIR``: parallel re-verification of recorded traces."""
+    report = check_traces(
+        args.target,
+        checker=args.checker,
+        jobs=args.jobs,
+        progress=functools.partial(_stderr_progress, "check") if args.progress else None,
+    )
+    if args.format == "json":
+        print(report.to_json())
+        return 0 if report.ok else 1
+    print(report.table().to_text())
+    print()
+    summary = report.summary()
+    print("traces checked     :", summary["traces"])
+    print("safe               : {}/{}".format(summary["safe_traces"], summary["traces"]))
+    print(
+        "match recorded     : {} ({}/{})".format(
+            summary["all_match"], summary["matching_traces"], summary["traces"]
+        )
+    )
+    print("explored states    : {} (total)".format(summary["explored_states"]))
+    return 0 if report.ok else 1
+
+
 def cmd_check(args: argparse.Namespace) -> int:
+    if args.target is not None:
+        return _cmd_check_traces(args)
     system = _resolve_system(args)
     print(system.describe())
     print()
@@ -150,23 +184,66 @@ def _safety_label(object_kind: str, verdict: bool) -> str:
     return "baseline (no safety check applied)"
 
 
-def _simulate_once(gqs, object_kind: str, pattern, ops: int, seed: int) -> Dict[str, Any]:
+def _simulate_once(
+    gqs,
+    object_kind: str,
+    pattern,
+    ops: int,
+    seed: int,
+    run_index: int = 0,
+    root_seed: int = 0,
+    record_dir: Optional[str] = None,
+) -> Dict[str, Any]:
     """Run one seeded protocol simulation; returns a picklable summary.
 
     Module-level so ``simulate --runs N --jobs M`` can fan seeded repetitions
-    out across worker processes.
+    out across worker processes; with ``record_dir`` the run's trace is
+    persisted for later ``repro check`` re-verification.
     """
     ops_per_process = ops if object_kind == "register" else 1
     run = run_workload(object_kind, gqs, pattern=pattern, ops_per_process=ops_per_process, seed=seed)
-    verdict = evaluate_safety(object_kind, gqs, pattern, run)
-    return {
+    safety = safety_report(object_kind, gqs, pattern, run)
+    outcome = {
         "completed": run.completed,
-        "verdict": bool(verdict),
+        "verdict": safety["safe"],
         "invokers": run.extra.get("invokers"),
         "mean_latency": run.metrics.mean_latency,
         "max_latency": run.metrics.max_latency,
         "messages_sent": run.metrics.messages_sent,
     }
+    if record_dir is not None:
+        write_run_trace(
+            record_dir,
+            name="simulate-{}".format(object_kind),
+            protocol=object_kind,
+            root_seed=root_seed,
+            run_index=run_index,
+            seed=seed,
+            history=run.history,
+            verdict={
+                "completed": run.completed,
+                "safe": safety["safe"],
+                "checker": safety["checker"],
+                "explored_states": safety["explored_states"],
+                "operations": run.metrics.operations,
+                "mean_latency": run.metrics.mean_latency,
+                "max_latency": run.metrics.max_latency,
+                "messages": run.metrics.messages_sent,
+            },
+            quorum_system=gqs,
+            pattern=pattern,
+            delay={"kind": "workload-default", "params": {}, "seed": seed},
+        )
+    return outcome
+
+
+def _simulate_indexed(gqs, object_kind: str, pattern, ops: int, record_dir, root_seed, item):
+    """Trampoline for the runs>1 fan-out: ``item`` is ``(run_index, seed)``."""
+    run_index, seed = item
+    return _simulate_once(
+        gqs, object_kind, pattern, ops, seed,
+        run_index=run_index, root_seed=root_seed, record_dir=record_dir,
+    )
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -191,7 +268,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     runs = max(1, args.runs)
     if runs == 1:
-        outcome = _simulate_once(gqs, args.object, pattern, args.ops, args.seed)
+        outcome = _simulate_once(
+            gqs, args.object, pattern, args.ops, args.seed,
+            root_seed=args.seed, record_dir=args.record_traces,
+        )
         print("object            :", args.object)
         print("failure pattern   :", pattern.name if pattern is not None else "none")
         print("invoked at        :", outcome["invokers"])
@@ -207,8 +287,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     # the aggregate depends only on (--seed, --runs), never on --jobs.
     seeds = spawn_seeds(args.seed, runs, "simulate", args.object)
     runner = ParallelRunner(jobs=args.jobs)
-    task = functools.partial(_simulate_once, gqs, args.object, pattern, args.ops)
-    outcomes = runner.map(task, seeds)
+    task = functools.partial(
+        _simulate_indexed, gqs, args.object, pattern, args.ops, args.record_traces, args.seed
+    )
+    outcomes = runner.map(task, list(enumerate(seeds)))
 
     completed_runs = sum(1 for o in outcomes if o["completed"])
     safe_runs = sum(1 for o in outcomes if o["verdict"])
@@ -318,6 +400,7 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
         progress=functools.partial(_stderr_progress, "scenario " + scenario.name)
         if args.progress
         else None,
+        record_traces=args.record_traces,
     )
     if args.format == "json":
         print(result.to_json())
@@ -350,6 +433,7 @@ def cmd_scenario_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         progress=functools.partial(_stderr_progress, "scenarios") if args.progress else None,
+        record_traces=args.record_traces,
     )
     if args.format == "json":
         print(json.dumps([r.to_dict() for r in results], indent=2))
@@ -382,7 +466,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    check = sub.add_parser("check", help="decide whether a fail-prone system admits a GQS")
+    check = sub.add_parser(
+        "check",
+        help="decide whether a fail-prone system admits a GQS, "
+        "or re-verify a recorded trace directory",
+    )
+    check.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="trace directory to re-verify (omit for the GQS decision procedure)",
+    )
     _add_system_arguments(check)
     check.add_argument(
         "--suggest-repairs",
@@ -394,6 +488,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="largest channel set considered by --suggest-repairs (default 2)",
+    )
+    check.add_argument(
+        "--checker",
+        choices=["auto", "wing-gong", "dep-graph", "streaming"],
+        default="auto",
+        help="trace mode: which linearizability checker re-judges register traces "
+        "(default auto = dependency-graph witness with complete-search fallback)",
+    )
+    check.add_argument(
+        "--jobs",
+        type=_jobs_value,
+        default=1,
+        help="trace mode: worker processes sharing the trace files (1 = serial, "
+        "0 = one per CPU); the verdict table is identical for every value",
+    )
+    check.add_argument("--format", choices=["table", "json"], default="table")
+    check.add_argument(
+        "--progress", action="store_true", help="trace mode: report per-trace progress on stderr"
     )
     check.set_defaults(func=cmd_check)
 
@@ -419,6 +531,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=_jobs_value,
         default=1,
         help="worker processes for --runs > 1 (1 = serial, 0 = one per CPU)",
+    )
+    simulate.add_argument(
+        "--record-traces",
+        metavar="DIR",
+        default=None,
+        help="persist every run's trace (history + system + verdict) into DIR "
+        "for later 'repro check DIR' re-verification",
     )
     simulate.set_defaults(func=cmd_simulate)
 
@@ -486,6 +605,12 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--progress", action="store_true", help="report per-run progress on stderr"
     )
+    scenario_run.add_argument(
+        "--record-traces",
+        metavar="DIR",
+        default=None,
+        help="persist every run's trace into DIR for later 'repro check DIR'",
+    )
     scenario_run.set_defaults(func=cmd_scenario_run)
 
     scenario_sweep = scenario_sub.add_parser(
@@ -505,6 +630,12 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_sweep.add_argument("--format", choices=["table", "json"], default="table")
     scenario_sweep.add_argument(
         "--progress", action="store_true", help="report per-run progress on stderr"
+    )
+    scenario_sweep.add_argument(
+        "--record-traces",
+        metavar="DIR",
+        default=None,
+        help="persist every run of every scenario into DIR for later 'repro check DIR'",
     )
     scenario_sweep.set_defaults(func=cmd_scenario_sweep)
 

@@ -28,7 +28,7 @@ from ..analysis.metrics import OperationMetrics
 from ..checkers import (
     check_consensus,
     check_lattice_agreement,
-    check_register_linearizability,
+    check_register_witness_first,
     check_snapshot_linearizability,
 )
 from ..errors import ReproError
@@ -318,39 +318,88 @@ def run_workload(
     return result
 
 
-def evaluate_safety(
+def judge_history(
     kind: str,
+    history: History,
     quorum_system: GeneralizedQuorumSystem,
     pattern: Optional[FailurePattern],
-    result: WorkloadResult,
-) -> bool:
-    """The paper's safety verdict for a finished run of protocol ``kind``.
+) -> Dict[str, Any]:
+    """The paper's safety judgement for one operation history of protocol ``kind``.
 
-    Registers and snapshots are checked for linearizability, lattice agreement
-    for its comparability/validity properties, consensus for agreement +
-    validity + termination at ``U_f``.  The Paxos baseline makes no claim
-    under channel failures, so it always passes.
+    This is the single protocol→checker dispatch shared by the inline path
+    (:func:`safety_report`, via the scenario runner) and the trace
+    re-verification path (:mod:`repro.traces`): both *must* judge a history
+    identically, or ``repro check`` would flag sound runs as mismatches.
+
+    Returns ``{"safe": bool, "checker": str, "explored_states": int}``:
+    registers go through the witness-first path
+    (:func:`~repro.checkers.check_register_witness_first` — dependency-graph
+    witness with automatic Wing–Gong fallback; the ``checker`` label reports
+    which of the two decided), snapshots through the snapshot search, lattice
+    agreement and consensus through their property checkers, and the Paxos
+    baseline makes no claim under channel failures so it always passes.
+    ``explored_states`` is the number of states the linearizability search
+    (or witness graph) touched — zero for the checkers that do not search.
     """
     if kind == "register":
-        return bool(check_register_linearizability(result.history, initial_value=0))
-    if kind == "snapshot":
-        return bool(
-            check_snapshot_linearizability(
-                result.history,
-                segment_ids=sorted_processes(quorum_system.processes),
-                initial_value=None,
-            )
+        outcome = check_register_witness_first(history, initial_value=0)
+        label = (
+            "dep-graph"
+            if outcome.reason == "dependency-graph witness accepted"
+            else "dep-graph+fallback"
         )
+        return {
+            "safe": outcome.is_linearizable,
+            "checker": label,
+            "explored_states": outcome.explored_states,
+        }
+    if kind == "snapshot":
+        outcome = check_snapshot_linearizability(
+            history,
+            segment_ids=sorted_processes(quorum_system.processes),
+            initial_value=None,
+        )
+        return {
+            "safe": outcome.is_linearizable,
+            "checker": "snapshot-wing-gong",
+            "explored_states": outcome.explored_states,
+        }
     if kind == "lattice":
-        return check_lattice_agreement(result.history).ok
+        verdict = check_lattice_agreement(history)
+        return {"safe": verdict.ok, "checker": "lattice-properties", "explored_states": 0}
     if kind == "consensus":
         required = (
             quorum_system.termination_component(pattern)
             if pattern is not None
             else quorum_system.processes
         )
-        return check_consensus(result.history, required_to_terminate=required).ok
-    return True
+        verdict = check_consensus(history, required_to_terminate=required)
+        return {"safe": verdict.ok, "checker": "consensus-properties", "explored_states": 0}
+    if kind == "paxos":
+        return {"safe": True, "checker": "none (baseline)", "explored_states": 0}
+    raise ReproError(
+        "unknown protocol kind {!r}; expected one of {}".format(kind, list(PROTOCOL_KINDS))
+    )
+
+
+def safety_report(
+    kind: str,
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern],
+    result: WorkloadResult,
+) -> Dict[str, Any]:
+    """:func:`judge_history` applied to a finished run's history."""
+    return judge_history(kind, result.history, quorum_system, pattern)
+
+
+def evaluate_safety(
+    kind: str,
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern],
+    result: WorkloadResult,
+) -> bool:
+    """The boolean safety verdict of :func:`safety_report`."""
+    return safety_report(kind, quorum_system, pattern, result)["safe"]
 
 
 # ---------------------------------------------------------------------- #

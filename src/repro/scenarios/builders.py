@@ -19,11 +19,12 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from ..errors import ReproError
-from ..experiments import evaluate_safety, run_workload
+from ..experiments import run_workload, safety_report
 from ..failures import FailProneSystem, FailurePattern, build_fail_prone_system
 from ..quorums import GeneralizedQuorumSystem, discover_gqs
 from ..serialization import fail_prone_system_from_dict
 from ..sim import build_delay_model
+from ..traces import write_run_trace
 from .spec import EXPLICIT_TOPOLOGY, ScenarioSpec
 
 __all__ = [
@@ -93,13 +94,18 @@ def run_built_scenario(
     quorum_system: GeneralizedQuorumSystem,
     pattern: Optional[FailurePattern],
     seed: int,
+    run_index: int = 0,
+    root_seed: int = 0,
+    record_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Execute one seeded run of an already-materialized scenario.
 
     The engine runner builds the topology and runs GQS discovery once per
     scenario in the parent process and ships the (picklable) results to the
     workers, so an N-run batch performs one discovery, not N.
-    Returns a flat, picklable row.
+    Returns a flat, picklable row; with ``record_dir`` set, the run's full
+    evidence (history, system, failure/delay description, verdict) is also
+    persisted as one trace file for later ``repro check`` re-verification.
     """
     kind = scenario.protocol.kind
     result = run_workload(
@@ -114,11 +120,31 @@ def run_built_scenario(
         max_time=scenario.workload.max_time,
         seed=seed,
     )
-    return {
+    safety = safety_report(kind, quorum_system, pattern, result)
+    row = {
+        "run": run_index,
         "completed": result.completed,
-        "safe": evaluate_safety(kind, quorum_system, pattern, result),
+        "safe": safety["safe"],
         "operations": result.metrics.operations,
         "mean_latency": result.metrics.mean_latency,
         "max_latency": result.metrics.max_latency,
         "messages": result.metrics.messages_sent,
+        "explored_states": safety["explored_states"],
     }
+    if record_dir is not None:
+        write_run_trace(
+            record_dir,
+            name=scenario.name,
+            protocol=kind,
+            root_seed=root_seed,
+            run_index=run_index,
+            seed=seed,
+            history=result.history,
+            verdict=dict(row, checker=safety["checker"]),
+            quorum_system=quorum_system,
+            pattern=pattern,
+            inject_at=scenario.failure.at_time,
+            delay={"kind": scenario.delay.kind, "params": scenario.delay.params, "seed": seed},
+            scenario=scenario.to_dict(),
+        )
+    return row

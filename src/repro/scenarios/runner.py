@@ -35,11 +35,23 @@ __all__ = [
 #: One simulation per engine shard (see module docstring).
 SCENARIO_CHUNK_SIZE = 1
 
-#: Columns of a scenario's per-run result table.
-RUN_COLUMNS = ("run", "completed", "safe", "operations", "mean_latency", "max_latency", "messages")
+#: Columns of a scenario's per-run result table.  ``explored_states`` surfaces
+#: the safety checker's search cost, so verification effort is observable.
+RUN_COLUMNS = (
+    "run",
+    "completed",
+    "safe",
+    "operations",
+    "mean_latency",
+    "max_latency",
+    "messages",
+    "explored_states",
+)
 
 
-def _scenario_experiment_spec(scenario: ScenarioSpec, runs: int, seed: int) -> ExperimentSpec:
+def _scenario_experiment_spec(
+    scenario: ScenarioSpec, runs: int, seed: int, record_traces: Optional[str] = None
+) -> ExperimentSpec:
     """The engine spec for ``runs`` seeded executions of ``scenario``.
 
     Topology construction, GQS discovery and pattern resolution happen here,
@@ -62,21 +74,29 @@ def _scenario_experiment_spec(scenario: ScenarioSpec, runs: int, seed: int) -> E
             "scenario": scenario,
             "quorum_system": build_quorum_system(scenario, system),
             "pattern": resolve_pattern(scenario, system),
+            "record_traces": record_traces,
         },
         chunk_size=SCENARIO_CHUNK_SIZE,
     )
 
 
 def _scenario_shard(spec: ExperimentSpec, shard: ShardSpec) -> Dict[str, Any]:
-    """Run one scenario simulation (executes inside a worker process)."""
-    row = run_built_scenario(
+    """Run one scenario simulation (executes inside a worker process).
+
+    Trace files are written from the worker: each run owns one
+    deterministically named file whose bytes depend only on
+    ``(scenario, root seed, run index)``, so a recorded directory is
+    byte-identical for every job count.
+    """
+    return run_built_scenario(
         spec.params["scenario"],
         spec.params["quorum_system"],
         spec.params["pattern"],
         seed=shard.seed,
+        run_index=shard.index,
+        root_seed=spec.seed,
+        record_dir=spec.params.get("record_traces"),
     )
-    row["run"] = shard.index
-    return row
 
 
 def _merge_rows(spec: ExperimentSpec, rows: List[Dict[str, Any]]) -> "ScenarioRunResult":
@@ -131,6 +151,11 @@ class ScenarioRunResult:
     def total_messages(self) -> int:
         return sum(row["messages"] for row in self.rows)
 
+    @property
+    def explored_states(self) -> int:
+        """Total states the safety checkers explored across all runs."""
+        return sum(row["explored_states"] for row in self.rows)
+
     def run_table(self) -> ResultTable:
         """Per-run results as an ASCII table (byte-identical across job counts)."""
         table = ResultTable(
@@ -153,6 +178,7 @@ class ScenarioRunResult:
             "mean_latency": self.mean_latency,
             "max_latency": self.max_latency,
             "total_messages": self.total_messages,
+            "explored_states": self.explored_states,
         }
 
     def to_dict(self) -> Dict[str, Any]:
@@ -174,17 +200,25 @@ def run_scenario(
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
     runner: Optional[ParallelRunner] = None,
+    record_traces: Optional[str] = None,
 ) -> ScenarioRunResult:
     """Run a scenario ``runs`` times with deterministically spawned seeds.
 
     ``scenario`` is a registered name or an explicit spec; ``runs`` defaults
     to the scenario's ``default_runs``.  The result depends only on
-    ``(scenario, runs, seed)`` — never on ``jobs``.
+    ``(scenario, runs, seed)`` — never on ``jobs``.  With ``record_traces``
+    set to a directory, every run also persists its trace
+    (:mod:`repro.traces`) for later independent re-verification; the recorded
+    files are likewise jobs-independent.
     """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     budget = runs if runs is not None else spec.default_runs
     runner = runner if runner is not None else ParallelRunner(jobs=jobs, progress=progress)
-    return runner.run(_scenario_experiment_spec(spec, budget, seed), _scenario_shard, _merge_rows)
+    return runner.run(
+        _scenario_experiment_spec(spec, budget, seed, record_traces=record_traces),
+        _scenario_shard,
+        _merge_rows,
+    )
 
 
 def sweep_scenarios(
@@ -194,12 +228,15 @@ def sweep_scenarios(
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
     runner: Optional[ParallelRunner] = None,
+    record_traces: Optional[str] = None,
 ) -> List[ScenarioRunResult]:
     """Run several scenarios (default: the whole registry) over one worker pool.
 
     All scenarios' runs flow through a single flattened shard stream, so
     ``jobs`` workers stay busy across scenario boundaries; each scenario's
     result is still exactly what :func:`run_scenario` would produce for it.
+    ``record_traces`` records every run of every scenario into one directory
+    (file names carry the scenario name, so a sweep never collides).
     """
     from .registry import all_scenarios
 
@@ -207,7 +244,9 @@ def sweep_scenarios(
     specs = [get_scenario(s) if isinstance(s, str) else s for s in chosen]
     runner = runner if runner is not None else ParallelRunner(jobs=jobs, progress=progress)
     experiment_specs = [
-        _scenario_experiment_spec(spec, runs if runs is not None else spec.default_runs, seed)
+        _scenario_experiment_spec(
+            spec, runs if runs is not None else spec.default_runs, seed, record_traces=record_traces
+        )
         for spec in specs
     ]
     return runner.run_sharded(experiment_specs, _scenario_shard, _merge_rows)

@@ -1,4 +1,4 @@
-"""JSON-friendly (de)serialization of failure models and quorum systems.
+"""JSON-friendly (de)serialization of failure models, quorum systems, histories.
 
 The command-line tools and downstream users need a way to describe *their*
 deployment's failure assumptions in a file, feed it to the GQS decision
@@ -18,6 +18,14 @@ procedure and store the witness.  The format is deliberately plain JSON:
 
 Channels are ``[sender, receiver]`` pairs.  Quorum systems serialize to
 ``{"read_quorums": [...], "write_quorums": [...]}`` plus the fail-prone system.
+
+Operation histories (:mod:`repro.history`) round-trip as well, which is what
+the trace store (:mod:`repro.traces`) builds on.  Operation arguments and
+results are not always JSON-native — lattice agreement proposes ``frozenset``
+values, snapshot scans return dictionaries whose keys are process identifiers
+of arbitrary hashable type — so they are encoded with a small tagged codec
+(:func:`value_to_jsonable` / :func:`value_from_jsonable`) that preserves the
+exact Python value through a JSON round-trip.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from typing import Any, Dict, Iterable, List, Optional, Union
 
 from .errors import ReproError
 from .failures import FailProneSystem, FailurePattern
+from .history import History, OperationRecord
 from .quorums import GeneralizedQuorumSystem
 from .types import sorted_channels, sorted_processes
 
@@ -96,6 +105,111 @@ def quorum_system_from_dict(data: Dict[str, Any], validate: bool = True) -> Gene
     return GeneralizedQuorumSystem(
         fail_prone, data["read_quorums"], data["write_quorums"], validate=validate
     )
+
+
+# ---------------------------------------------------------------------- #
+# Operation values and histories
+# ---------------------------------------------------------------------- #
+#: Tag prefix reserved by the value codec; a plain dict value whose keys start
+#: with it would be ambiguous, which is why dicts are always tagged.
+_TAG_PREFIX = "$"
+
+
+def value_to_jsonable(value: Any) -> Any:
+    """Encode an operation argument/result as a JSON-compatible structure.
+
+    Scalars (``None``, ``bool``, ``int``, ``float``, ``str``) pass through;
+    containers become single-key tagged objects (``{"$tuple": [...]}``,
+    ``{"$frozenset": [...]}``, ``{"$set": [...]}``, ``{"$list": [...]}``,
+    ``{"$dict": [[key, value], ...]}``) so that element types — including
+    non-string dictionary keys — survive the round-trip.  Unordered
+    collections are sorted by their encoded JSON text, so encoding is
+    deterministic.  Unsupported types raise :class:`ReproError` rather than
+    degrade silently: a trace must replay to the exact recorded values.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"$tuple": [value_to_jsonable(item) for item in value]}
+    if isinstance(value, list):
+        return {"$list": [value_to_jsonable(item) for item in value]}
+    if isinstance(value, (set, frozenset)):
+        tag = "$frozenset" if isinstance(value, frozenset) else "$set"
+        encoded = [value_to_jsonable(item) for item in value]
+        encoded.sort(key=lambda item: json.dumps(item, sort_keys=True))
+        return {tag: encoded}
+    if isinstance(value, dict):
+        pairs = [[value_to_jsonable(k), value_to_jsonable(v)] for k, v in value.items()]
+        pairs.sort(key=lambda pair: json.dumps(pair[0], sort_keys=True))
+        return {"$dict": pairs}
+    raise ReproError(
+        "cannot serialize operation value of type {}: {!r}".format(type(value).__name__, value)
+    )
+
+
+def value_from_jsonable(data: Any) -> Any:
+    """Decode a value encoded by :func:`value_to_jsonable`."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, dict):
+        if len(data) != 1:
+            raise ReproError("malformed encoded value: {!r}".format(data))
+        tag, payload = next(iter(data.items()))
+        if tag == "$tuple":
+            return tuple(value_from_jsonable(item) for item in payload)
+        if tag == "$list":
+            return [value_from_jsonable(item) for item in payload]
+        if tag == "$frozenset":
+            return frozenset(value_from_jsonable(item) for item in payload)
+        if tag == "$set":
+            return set(value_from_jsonable(item) for item in payload)
+        if tag == "$dict":
+            return {value_from_jsonable(k): value_from_jsonable(v) for k, v in payload}
+        raise ReproError("unknown value tag {!r}".format(tag))
+    raise ReproError("malformed encoded value: {!r}".format(data))
+
+
+def operation_record_to_dict(record: OperationRecord) -> Dict[str, Any]:
+    """Serialize one :class:`~repro.history.OperationRecord`."""
+    return {
+        "process": value_to_jsonable(record.process_id),
+        "kind": record.kind,
+        "argument": value_to_jsonable(record.argument),
+        "result": value_to_jsonable(record.result),
+        "invoked_at": record.invoked_at,
+        "completed_at": record.completed_at,
+        "op_id": record.op_id,
+    }
+
+
+def operation_record_from_dict(data: Dict[str, Any]) -> OperationRecord:
+    """Deserialize one operation record."""
+    if not isinstance(data, dict):
+        raise ReproError("operation record must be an object, got {!r}".format(data))
+    for key in ("process", "kind", "invoked_at"):
+        if key not in data:
+            raise ReproError("operation record is missing {!r}".format(key))
+    return OperationRecord(
+        process_id=value_from_jsonable(data["process"]),
+        kind=data["kind"],
+        argument=value_from_jsonable(data.get("argument")),
+        result=value_from_jsonable(data.get("result")),
+        invoked_at=float(data["invoked_at"]),
+        completed_at=(
+            float(data["completed_at"]) if data.get("completed_at") is not None else None
+        ),
+        op_id=int(data.get("op_id", 0)),
+    )
+
+
+def history_to_dicts(history: History) -> List[Dict[str, Any]]:
+    """Serialize a history as a list of operation-record dictionaries."""
+    return [operation_record_to_dict(record) for record in history]
+
+
+def history_from_dicts(data: Iterable[Dict[str, Any]]) -> History:
+    """Deserialize a history from operation-record dictionaries."""
+    return History(operation_record_from_dict(entry) for entry in data)
 
 
 # ---------------------------------------------------------------------- #

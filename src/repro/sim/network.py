@@ -21,6 +21,7 @@ as well as mid-execution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import count
 from typing import Any, Dict, Iterable, List, Optional, Set, TYPE_CHECKING
 
 from ..errors import SimulationError
@@ -81,6 +82,16 @@ class Network:
         self._disconnected: Set[Channel] = set()
         self._crashed: Set[ProcessId] = set()
         self.stats = NetworkStats()
+        self._op_ids = count()
+
+    def next_op_id(self) -> int:
+        """The next operation id, unique and deterministic within this network.
+
+        Drawing ids here (rather than from an interpreter-global counter)
+        keeps operation histories — and the trace files recorded from them —
+        identical no matter how many simulations ran earlier in the process.
+        """
+        return next(self._op_ids)
 
     # ------------------------------------------------------------------ #
     # Registration

@@ -54,12 +54,26 @@ class WaitCondition:
 
 
 class OperationHandle:
-    """Tracks one in-flight (or completed) operation at a process."""
+    """Tracks one in-flight (or completed) operation at a process.
+
+    ``op_id`` defaults to an interpreter-global counter; the simulation always
+    passes an explicit per-network id instead (see
+    :meth:`Process.start_operation`), so that a run's history — including the
+    recorded traces built from it — is a pure function of its seed, not of
+    how many simulations the interpreter happened to execute before it.
+    """
 
     _ids = itertools.count()
 
-    def __init__(self, process_id: ProcessId, kind: str, argument: Any, invoked_at: float) -> None:
-        self.op_id = next(OperationHandle._ids)
+    def __init__(
+        self,
+        process_id: ProcessId,
+        kind: str,
+        argument: Any,
+        invoked_at: float,
+        op_id: Optional[int] = None,
+    ) -> None:
+        self.op_id = next(OperationHandle._ids) if op_id is None else op_id
         self.process_id = process_id
         self.kind = kind
         self.argument = argument
@@ -303,7 +317,9 @@ class Process:
             raise ProcessCrashedError(
                 "operation {!r} invoked on crashed process {!r}".format(kind, self.pid)
             )
-        handle = OperationHandle(self.pid, kind, argument, self.now)
+        handle = OperationHandle(
+            self.pid, kind, argument, self.now, op_id=self.network.next_op_id()
+        )
         self._advance(generator, handle, None)
         self._check_waits()
         return handle

@@ -1,0 +1,43 @@
+"""Trace capture & replay verification: record simulated runs, re-check later.
+
+The trace subsystem decouples *simulate* from *verify*.  Recording
+(``--record-traces DIR`` on ``repro scenario run``, ``repro scenario sweep``
+and ``repro simulate``) persists every run's operation history, system,
+failure/delay description and inline verdict as one schema-versioned JSONL
+file; ``repro check DIR`` fans the recorded histories out over the parallel
+experiment engine and re-judges them with a chosen checker — the evidence
+behind a safety verdict becomes a first-class, independently re-verifiable
+artifact, and verification scales separately from simulation.
+
+See ``docs/traces.md`` for the schema and worked examples.
+"""
+
+from .check import (
+    CHECKER_KINDS,
+    TraceCheckReport,
+    check_trace,
+    check_traces,
+)
+from .store import (
+    TRACE_SCHEMA_VERSION,
+    TRACE_SUFFIX,
+    Trace,
+    list_trace_files,
+    load_trace,
+    trace_file_name,
+    write_run_trace,
+)
+
+__all__ = [
+    "CHECKER_KINDS",
+    "TRACE_SCHEMA_VERSION",
+    "TRACE_SUFFIX",
+    "Trace",
+    "TraceCheckReport",
+    "check_trace",
+    "check_traces",
+    "list_trace_files",
+    "load_trace",
+    "trace_file_name",
+    "write_run_trace",
+]

@@ -1,0 +1,213 @@
+"""Parallel re-verification of recorded traces (``repro check <dir>``).
+
+Recorded histories are re-judged from scratch — nothing is taken from the
+trace's ``verdict`` line except for the *match* comparison — and the work fans
+out over the existing :class:`~repro.engine.ParallelRunner`: one task per
+trace file, results collected in sorted-file order, so the verdict table is
+byte-identical for every ``--jobs`` value.
+
+Checker selection (``--checker``):
+
+``auto``
+    The same judgement the simulation applied inline, per protocol: the
+    witness-first register path (dependency-graph witness with Wing–Gong
+    fallback), the snapshot search, the lattice/consensus property checkers,
+    and no claim for the Paxos baseline.
+``wing-gong``
+    Force the complete Wing–Gong search for register traces (the slow,
+    trusted path — useful to cross-examine the witness checker).
+``dep-graph``
+    The dependency-graph witness path with automatic fallback (explicitly;
+    for registers this is what ``auto`` already does).
+``streaming``
+    The incremental forward-closure checker fed in invocation order.
+
+Non-register protocols have a single decision procedure each, so every
+checker choice routes them through their ``auto`` path.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..analysis.metrics import ResultTable
+from ..checkers import check_register_linearizability
+from ..engine import ParallelRunner, ProgressCallback
+from ..errors import ReproError
+from ..experiments import judge_history
+from .store import Trace, list_trace_files, load_trace
+
+__all__ = [
+    "CHECKER_KINDS",
+    "TraceCheckReport",
+    "check_trace",
+    "check_traces",
+]
+
+#: The ``--checker`` choices of ``repro check``.
+CHECKER_KINDS = ("auto", "wing-gong", "dep-graph", "streaming")
+
+#: Columns of the verdict table, one row per trace file.
+CHECK_COLUMNS = (
+    "trace",
+    "name",
+    "run",
+    "protocol",
+    "operations",
+    "safe",
+    "recorded",
+    "match",
+    "explored",
+    "checker",
+)
+
+
+def _check_register(trace: Trace, checker: str) -> Dict[str, Any]:
+    """A forced register checker choice (``auto``/``dep-graph`` use the shared
+    dispatch in :func:`_check_auto`)."""
+    mode = "streaming" if checker == "streaming" else "batch"
+    outcome = check_register_linearizability(trace.history, initial_value=0, mode=mode)
+    return {"safe": outcome.is_linearizable, "explored": outcome.explored_states,
+            "checker": checker}
+
+
+def _check_auto(trace: Trace) -> Dict[str, Any]:
+    """Judge a trace exactly the way the simulation judged it inline.
+
+    Delegates to :func:`repro.experiments.judge_history` — the one shared
+    protocol→checker dispatch — so the re-check can never drift from the
+    recorded verdict's semantics.
+    """
+    if trace.protocol in ("snapshot", "consensus") and trace.quorum_system is None:
+        raise ReproError(
+            "{}: {} trace carries no quorum system (needed to re-judge it)".format(
+                trace.path, trace.protocol
+            )
+        )
+    report = judge_history(trace.protocol, trace.history, trace.quorum_system, trace.pattern)
+    return {
+        "safe": report["safe"],
+        "explored": report["explored_states"],
+        "checker": report["checker"],
+    }
+
+
+def check_trace(trace: Trace, checker: str = "auto") -> Dict[str, Any]:
+    """Re-verify one parsed trace; returns a verdict-table row."""
+    if checker not in CHECKER_KINDS:
+        raise ReproError(
+            "unknown checker {!r}; expected one of {}".format(checker, list(CHECKER_KINDS))
+        )
+    if trace.protocol == "register" and checker in ("wing-gong", "streaming"):
+        outcome = _check_register(trace, checker)
+    else:
+        # "auto" and "dep-graph" both take the shared witness-first dispatch.
+        outcome = _check_auto(trace)
+    recorded = trace.recorded_safe
+    return {
+        "trace": os.path.basename(trace.path),
+        "name": trace.name,
+        "run": trace.run,
+        "protocol": trace.protocol,
+        "operations": len(trace.history),
+        "safe": outcome["safe"],
+        "recorded": recorded if recorded is not None else "-",
+        # A trace without a recorded verdict can never "match": agreement with
+        # absent evidence is not agreement.
+        "match": recorded is not None and outcome["safe"] == recorded,
+        "explored": outcome["explored"],
+        "checker": outcome["checker"],
+    }
+
+
+def _check_trace_task(checker: str, path: str) -> Dict[str, Any]:
+    """Load + re-verify one trace file (runs inside a worker process)."""
+    return check_trace(load_trace(path), checker)
+
+
+@dataclass
+class TraceCheckReport:
+    """All verdict rows of one ``repro check`` invocation."""
+
+    directory: str
+    checker: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def traces(self) -> int:
+        return len(self.rows)
+
+    @property
+    def safe_traces(self) -> int:
+        return sum(1 for row in self.rows if row["safe"])
+
+    @property
+    def matching_traces(self) -> int:
+        return sum(1 for row in self.rows if row["match"])
+
+    @property
+    def all_match(self) -> bool:
+        """Whether every re-checked verdict equals the recorded inline one."""
+        return self.matching_traces == self.traces
+
+    @property
+    def ok(self) -> bool:
+        return self.all_match
+
+    def table(self) -> ResultTable:
+        """The verdict table (byte-identical for every job count)."""
+        table = ResultTable(
+            title="trace check: {} trace(s), checker={}".format(self.traces, self.checker),
+            columns=CHECK_COLUMNS,
+        )
+        for row in self.rows:
+            table.add_row(**{column: row[column] for column in CHECK_COLUMNS})
+        return table
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "traces": self.traces,
+            "safe_traces": self.safe_traces,
+            "matching_traces": self.matching_traces,
+            "all_match": self.all_match,
+            "explored_states": sum(row["explored"] for row in self.rows),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "directory": self.directory,
+            "checker": self.checker,
+            "rows": [dict(row) for row in self.rows],
+            "summary": self.summary(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def check_traces(
+    directory: str,
+    checker: str = "auto",
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> TraceCheckReport:
+    """Re-verify every trace in ``directory`` across ``jobs`` workers.
+
+    Each worker loads and judges whole trace files independently (verification
+    scales without touching the simulator), and rows come back in sorted-file
+    order via the runner's ordered map — the report depends only on the
+    directory contents and the checker, never on ``jobs``.
+    """
+    if checker not in CHECKER_KINDS:
+        raise ReproError(
+            "unknown checker {!r}; expected one of {}".format(checker, list(CHECKER_KINDS))
+        )
+    paths = list_trace_files(directory)
+    runner = runner if runner is not None else ParallelRunner(jobs=jobs, progress=progress)
+    rows = runner.map(functools.partial(_check_trace_task, checker), paths)
+    return TraceCheckReport(directory=directory, checker=checker, rows=rows)

@@ -173,6 +173,18 @@ def test_run_scenario_rejects_zero_runs():
         run_scenario("unidirectional-ring", runs=0)
 
 
+def test_explored_states_is_surfaced_in_rows_summary_and_table():
+    """Regression: the linearizability checker's explored_states used to be
+    dropped on the floor by the scenario runner — verification cost must be
+    observable in every surface (per-run rows, aggregate summary, table)."""
+    result = run_scenario("unidirectional-ring", runs=2, seed=0)
+    for row in result.rows:
+        assert row["explored_states"] > 0  # a register run always searches
+    assert result.explored_states == sum(row["explored_states"] for row in result.rows)
+    assert result.summary()["explored_states"] == result.explored_states
+    assert "explored_states" in result.run_table().to_text()
+
+
 # ---------------------------------------------------------------------- #
 # CLI
 # ---------------------------------------------------------------------- #
