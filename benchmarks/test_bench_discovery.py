@@ -5,6 +5,13 @@ processes and the number of failure patterns grow, on threshold systems (many
 patterns, crash-only) and on random systems with channel failures.  The
 decision procedure is the tool a practitioner would run to check whether a
 deployment's failure assumptions are tolerable at all, so its cost matters.
+
+The ``pruned_vs_seed`` benchmarks pit the production search (bitmask
+candidates + forward checking) against the seed backtracker
+(``algorithm="naive"``: set-based candidate enumeration, prefix-only pruning)
+on the production-size families of :mod:`repro.failures.generators`, and
+**assert** a ≥10x reduction in explored search nodes plus a wall-clock win —
+the acceptance bar of the discovery rework.
 """
 
 from __future__ import annotations
@@ -12,10 +19,88 @@ from __future__ import annotations
 import time
 
 from repro.analysis import ResultTable
-from repro.failures import FailProneSystem, random_fail_prone_system
+from repro.failures import (
+    FailProneSystem,
+    large_threshold_system,
+    multi_region_system,
+    random_fail_prone_system,
+)
 from repro.quorums import discover_gqs
 
 from conftest import bench_once
+
+
+def _compare_algorithms(build_system, label):
+    """Run both algorithms on fresh system instances and report one table row.
+
+    Each algorithm gets its own instance so the pruned path cannot feed off
+    caches warmed by the naive run (or vice versa).
+    """
+    naive_system = build_system()
+    started = time.perf_counter()
+    naive = discover_gqs(naive_system, validate=False, algorithm="naive")
+    naive_seconds = time.perf_counter() - started
+
+    pruned_system = build_system()
+    started = time.perf_counter()
+    pruned = discover_gqs(pruned_system, validate=False)
+    pruned_seconds = time.perf_counter() - started
+
+    assert pruned.exists == naive.exists
+    if pruned.exists:
+        assert {f: (c.read_quorum, c.write_quorum) for f, c in pruned.choices.items()} == {
+            f: (c.read_quorum, c.write_quorum) for f, c in naive.choices.items()
+        }
+    return {
+        "family": label,
+        "n": len(naive_system.processes),
+        "|F|": len(naive_system),
+        "GQS exists": pruned.exists,
+        "seed nodes": naive.nodes_explored,
+        "pruned nodes": pruned.nodes_explored,
+        "node ratio": round(naive.nodes_explored / max(1, pruned.nodes_explored), 1),
+        "seed s": round(naive_seconds, 3),
+        "pruned s": round(pruned_seconds, 3),
+    }
+
+
+def test_e7_pruned_vs_seed_backtracker_on_large_families(benchmark):
+    """The acceptance benchmark: ≥10x fewer explored nodes, lower wall-clock."""
+
+    families = [
+        (
+            "multi-region(10x13, primary=11, epochs=50)",
+            lambda: multi_region_system(
+                regions=10, replicas_per_region=13, primary_replicas=11, epochs=50
+            ),
+        ),
+        (
+            "large-threshold(120, k=8, zones=6, blackout)",
+            lambda: large_threshold_system(
+                n=120, max_crashes=8, num_patterns=50, zones=6, catastrophic=True
+            ),
+        ),
+    ]
+
+    def experiment():
+        return [_compare_algorithms(build, label) for label, build in families]
+
+    rows = bench_once(benchmark, experiment)
+    table = ResultTable(
+        title="E7: forward-checking search vs seed backtracker",
+        columns=[
+            "family", "n", "|F|", "GQS exists",
+            "seed nodes", "pruned nodes", "node ratio", "seed s", "pruned s",
+        ],
+    )
+    for row in rows:
+        table.add_row(**row)
+    print()
+    print(table)
+    for row in rows:
+        assert row["GQS exists"]
+        assert row["seed nodes"] >= 10 * row["pruned nodes"], row
+        assert row["pruned s"] < row["seed s"], row
 
 
 def test_e7_discovery_on_threshold_systems(benchmark):

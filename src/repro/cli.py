@@ -1,6 +1,16 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five commands cover the workflows a practitioner needs:
+Six commands cover the workflows a practitioner needs:
+
+``quorums``
+    The quorum-decision toolbox: ``discover`` runs the GQS decision procedure
+    (Theorem 2) and prints the per-pattern witness, candidate counts and
+    search statistics; ``classify`` reports which quorum conditions
+    (classical / QS+ / generalized) the system admits; ``repair`` searches
+    for minimal channel hardenings that make an intolerable system tolerable.
+    All three accept ``--format table|json``; the JSON output is canonical
+    (sorted keys, deterministically sorted quorums) and byte-identical across
+    ``PYTHONHASHSEED`` values — CI diffs it across two interpreter runs.
 
 ``check``
     Two modes.  Without a positional argument: decide whether a fail-prone
@@ -36,7 +46,10 @@ Five commands cover the workflows a practitioner needs:
 
 Built-in fail-prone systems: ``figure1``, ``figure1-modified``,
 ``ring-<n>`` (e.g. ``ring-5``), ``geo-<sites>x<replicas>`` (e.g. ``geo-3x2``),
-``minority-<n>`` (crash-only threshold), ``adversarial-<n>`` (one-way splits).
+``minority-<n>`` (crash-only threshold), ``adversarial-<n>`` (one-way splits),
+``large-threshold-<n>x<k>[x<zones>]`` (rotating crash windows, optionally
+zoned with a catastrophic blackout) and ``multiregion-<regions>x<replicas>``
+(WAN-epoch islands plus a blackout).
 """
 
 from __future__ import annotations
@@ -47,13 +60,18 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
-from .analysis import run_all_examples
+from .analysis import ResultTable, run_all_examples
 from .engine import ParallelRunner, spawn_seeds
 from .errors import ReproError
 from .experiments import run_workload, safety_report
 from .failures import FailProneSystem, builtin_fail_prone_system
 from .montecarlo import admissibility_sweep, admissibility_table, reliability_sweep, reliability_table
-from .quorums import discover_gqs
+from .quorums import (
+    DISCOVERY_ALGORITHMS,
+    classify_fail_prone_system,
+    discover_gqs,
+    suggest_channel_repairs,
+)
 from .scenarios import (
     catalogue_markdown,
     catalogue_table,
@@ -167,6 +185,140 @@ def cmd_check(args: argparse.Namespace) -> int:
         return 2
     print("A generalized quorum system exists:")
     print(result.quorum_system.describe())
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# quorums
+# ---------------------------------------------------------------------- #
+def _pattern_label(pattern, position: int) -> str:
+    """Stable display label for a pattern: its name, or its position."""
+    return pattern.name if pattern.name is not None else "pattern-{}".format(position)
+
+
+def _system_summary(system: FailProneSystem) -> Dict[str, Any]:
+    from .types import sorted_processes
+
+    return {
+        "name": system.name,
+        "num_processes": len(system.processes),
+        "num_patterns": len(system.patterns),
+        "processes": sorted_processes(system.processes),
+    }
+
+
+def cmd_quorums_discover(args: argparse.Namespace) -> int:
+    from .types import sorted_processes
+
+    system = _resolve_system(args)
+    result = discover_gqs(system, validate=False, algorithm=args.algorithm)
+    rows = []
+    for position, pattern in enumerate(system.patterns):
+        chosen = result.choices.get(pattern)
+        rows.append(
+            {
+                "pattern": _pattern_label(pattern, position),
+                "candidates": result.candidates_per_pattern.get(pattern, 0),
+                "read_quorum": sorted_processes(chosen.read_quorum) if chosen else None,
+                "write_quorum": sorted_processes(chosen.write_quorum) if chosen else None,
+            }
+        )
+    if args.format == "json":
+        payload = {
+            "system": _system_summary(system),
+            "algorithm": result.algorithm,
+            "exists": result.exists,
+            "nodes_explored": result.nodes_explored,
+            "patterns": rows,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if result.exists else 2
+    print(system.describe())
+    print()
+    if not result.exists:
+        print("NO generalized quorum system exists: by Theorem 2 the failure assumptions")
+        print("cannot be tolerated by any register/snapshot/lattice-agreement/consensus")
+        print("implementation (with any non-trivial liveness).")
+        print()
+        print("algorithm         :", result.algorithm)
+        print("nodes explored    :", result.nodes_explored)
+        return 2
+    table = ResultTable(
+        title="GQS witness (one candidate per failure pattern)",
+        columns=["pattern", "candidates", "read quorum", "write quorum"],
+    )
+    for row in rows:
+        table.add_row(
+            **{
+                "pattern": row["pattern"],
+                "candidates": row["candidates"],
+                "read quorum": ",".join(str(p) for p in row["read_quorum"]),
+                "write quorum": ",".join(str(p) for p in row["write_quorum"]),
+            }
+        )
+    print(table.to_text())
+    print()
+    print("GQS exists        : True")
+    print("algorithm         :", result.algorithm)
+    print("nodes explored    :", result.nodes_explored)
+    return 0
+
+
+def cmd_quorums_classify(args: argparse.Namespace) -> int:
+    system = _resolve_system(args)
+    verdict = classify_fail_prone_system(system)
+    if args.format == "json":
+        payload = {"system": _system_summary(system), "admits": verdict}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(system.describe())
+    print()
+    print("classical quorum system (Definition 1) :", verdict["classical"])
+    print("strongly connected QS+ (Section 1)     :", verdict["strong"])
+    print("generalized quorum system (Definition 2):", verdict["generalized"])
+    return 0
+
+
+def cmd_quorums_repair(args: argparse.Namespace) -> int:
+    from .types import sorted_channels
+
+    system = _resolve_system(args)
+    report = suggest_channel_repairs(
+        system, max_channels=args.max_channels, max_suggestions=args.max_suggestions
+    )
+    suggestions = [
+        [list(channel) for channel in sorted_channels(s.channels)] for s in report.suggestions
+    ]
+    if args.format == "json":
+        payload = {
+            "system": _system_summary(system),
+            "already_tolerable": report.already_tolerable,
+            "repairable": report.repairable,
+            "max_channels": report.max_channels,
+            "candidates_considered": report.candidates_considered,
+            "candidates_reused": report.candidates_reused,
+            "suggestions": suggestions,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if report.repairable else 2
+    print(system.describe())
+    print()
+    if report.already_tolerable:
+        print("The system already admits a generalized quorum system; nothing to repair.")
+        return 0
+    if not report.suggestions:
+        print(
+            "No repair found by hardening up to {} channel(s); the problem "
+            "likely lies in the process failures.".format(report.max_channels)
+        )
+        print("hardenings tried  :", report.candidates_considered)
+        return 2
+    print("Hardening any of the following channel sets restores a GQS:")
+    for channels in suggestions:
+        print("  -", [tuple(ch) for ch in channels])
+    print()
+    print("hardenings tried  :", report.candidates_considered)
+    print("cache entries reused:", report.candidates_reused)
     return 0
 
 
@@ -508,6 +660,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="trace mode: report per-trace progress on stderr"
     )
     check.set_defaults(func=cmd_check)
+
+    quorums = sub.add_parser(
+        "quorums",
+        help="quorum-decision toolbox: discover a GQS witness, classify, repair",
+    )
+    quorums_sub = quorums.add_subparsers(dest="quorums_command", required=True)
+
+    quorums_discover = quorums_sub.add_parser(
+        "discover",
+        help="run the GQS decision procedure and print the per-pattern witness",
+    )
+    _add_system_arguments(quorums_discover)
+    quorums_discover.add_argument(
+        "--algorithm",
+        choices=list(DISCOVERY_ALGORITHMS),
+        default="pruned",
+        help="search strategy: 'pruned' (bitmask forward checking, default) or "
+        "'naive' (the reference backtracker)",
+    )
+    quorums_discover.add_argument("--format", choices=["table", "json"], default="table")
+    quorums_discover.set_defaults(func=cmd_quorums_discover)
+
+    quorums_classify = quorums_sub.add_parser(
+        "classify",
+        help="report which quorum conditions (classical/QS+/GQS) the system admits",
+    )
+    _add_system_arguments(quorums_classify)
+    quorums_classify.add_argument("--format", choices=["table", "json"], default="table")
+    quorums_classify.set_defaults(func=cmd_quorums_classify)
+
+    quorums_repair = quorums_sub.add_parser(
+        "repair",
+        help="search for minimal channel hardenings that make the system tolerable",
+    )
+    _add_system_arguments(quorums_repair)
+    quorums_repair.add_argument(
+        "--max-channels",
+        type=int,
+        default=2,
+        help="largest channel set considered (default 2)",
+    )
+    quorums_repair.add_argument(
+        "--max-suggestions",
+        type=int,
+        default=None,
+        help="stop after this many suggestions (default: all minimal ones)",
+    )
+    quorums_repair.add_argument("--format", choices=["table", "json"], default="table")
+    quorums_repair.set_defaults(func=cmd_quorums_repair)
 
     simulate = sub.add_parser("simulate", help="run a protocol on the simulated network")
     _add_system_arguments(simulate)

@@ -9,6 +9,8 @@ from .generators import (
     build_fail_prone_system,
     builtin_fail_prone_system,
     geo_replicated_system,
+    large_threshold_system,
+    multi_region_system,
     random_fail_prone_system,
     random_failure_pattern,
     ring_unidirectional_system,
@@ -24,6 +26,8 @@ __all__ = [
     "build_fail_prone_system",
     "builtin_fail_prone_system",
     "geo_replicated_system",
+    "large_threshold_system",
+    "multi_region_system",
     "random_fail_prone_system",
     "random_failure_pattern",
     "ring_unidirectional_system",

@@ -14,7 +14,7 @@ import itertools
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import InvalidFailurePatternError
-from ..graph import DiGraph
+from ..graph import BitsetDiGraph, DiGraph, ProcessIndex
 from ..types import Channel, ProcessId, ProcessSet, sorted_processes
 from .pattern import FailurePattern
 
@@ -47,8 +47,13 @@ class FailProneSystem:
         self._processes = frozenset(processes)
         if not self._processes:
             raise InvalidFailurePatternError("a fail-prone system needs at least one process")
-        self._graph = graph.copy() if graph is not None else DiGraph.complete(self._processes)
-        for p in self._processes:
+        # Vertices are inserted in sorted order: the network graph must never
+        # inherit the hash-seed-dependent iteration order of a frozenset, or
+        # every traversal downstream (SCCs, candidate enumeration, discovery)
+        # would differ between interpreter runs.
+        ordered = sorted_processes(self._processes)
+        self._graph = graph.copy() if graph is not None else DiGraph.complete(ordered)
+        for p in ordered:
             self._graph.add_vertex(p)
         self._patterns: Tuple[FailurePattern, ...] = tuple(patterns)
         self._name = name
@@ -70,6 +75,17 @@ class FailProneSystem:
                         "pattern {!r} disconnects channel ({!r}, {!r}) "
                         "that does not exist in the network graph".format(f, src, dst)
                     )
+        # Lazily populated derived state.  The decision procedure re-derives
+        # the same residual graphs and candidate structures for every pattern
+        # over and over (discovery, repair, classification, availability
+        # checks), so they are memoized here, keyed by (value-hashable)
+        # FailurePattern.  All memoized objects are shared: callers must treat
+        # them as immutable.
+        self._process_index: Optional[ProcessIndex] = None
+        self._bitset_graph: Optional[BitsetDiGraph] = None
+        self._residual_cache: Dict[FailurePattern, DiGraph] = {}
+        self._residual_bitset_cache: Dict[FailurePattern, BitsetDiGraph] = {}
+        self._analysis_caches: Dict[str, Dict] = {}
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -110,9 +126,85 @@ class FailProneSystem:
     # ------------------------------------------------------------------ #
     # Derived information
     # ------------------------------------------------------------------ #
+    @property
+    def process_index(self) -> ProcessIndex:
+        """The deterministic process ↔ bit-position mapping for this system."""
+        if self._process_index is None:
+            self._process_index = ProcessIndex(self._processes)
+        return self._process_index
+
+    @property
+    def bitset_graph(self) -> BitsetDiGraph:
+        """The network graph as a shared bitmask view (treat as immutable)."""
+        if self._bitset_graph is None:
+            self._bitset_graph = BitsetDiGraph.from_digraph(self._graph, self.process_index)
+        return self._bitset_graph
+
     def residual_graph(self, pattern: FailurePattern) -> DiGraph:
-        """The residual graph ``G \\ f`` for ``pattern``."""
-        return pattern.residual_graph(self._graph)
+        """The residual graph ``G \\ f`` for ``pattern``.
+
+        The graph is memoized and shared between callers: treat it as
+        immutable (every in-tree consumer only traverses it).
+        """
+        cached = self._residual_cache.get(pattern)
+        if cached is None:
+            cached = pattern.residual_graph(self._graph)
+            self._residual_cache[pattern] = cached
+        return cached
+
+    def residual_bitset(self, pattern: FailurePattern) -> BitsetDiGraph:
+        """The residual graph for ``pattern`` as a memoized bitmask view."""
+        cached = self._residual_bitset_cache.get(pattern)
+        if cached is None:
+            cached = self.bitset_graph.residual(pattern.crash_prone, pattern.disconnect_prone)
+            self._residual_bitset_cache[pattern] = cached
+        return cached
+
+    def analysis_cache(self, namespace: str) -> Dict:
+        """A per-system memo dictionary for derived analyses.
+
+        The quorum-discovery layer stores per-pattern candidate structures
+        here (keyed by :class:`FailurePattern`), so repeated discovery calls
+        and the incremental repair search never recompute them.
+        """
+        return self._analysis_caches.setdefault(namespace, {})
+
+    def warm_caches_from(self, other: "FailProneSystem") -> int:
+        """Adopt ``other``'s memoized per-pattern state for shared patterns.
+
+        Copies residual graphs, residual bitmask views and analysis-cache
+        entries for every pattern of ``self`` that ``other`` has already
+        analysed (patterns compare by value).  Only valid — and only applied —
+        when both systems have the same process set and network graph, which
+        is exactly the situation created by
+        :func:`repro.quorums.repair.harden_channels`.  Returns the number of
+        adopted cache entries.
+        """
+        if self._processes != other._processes or self._graph != other._graph:
+            return 0
+        if self._process_index is None:
+            self._process_index = other._process_index
+        if self._bitset_graph is None:
+            self._bitset_graph = other._bitset_graph
+        own_patterns = set(self._patterns)
+        adopted = 0
+        for pattern in own_patterns:
+            if pattern in other._residual_cache and pattern not in self._residual_cache:
+                self._residual_cache[pattern] = other._residual_cache[pattern]
+                adopted += 1
+            if (
+                pattern in other._residual_bitset_cache
+                and pattern not in self._residual_bitset_cache
+            ):
+                self._residual_bitset_cache[pattern] = other._residual_bitset_cache[pattern]
+                adopted += 1
+        for namespace, entries in other._analysis_caches.items():
+            own = self.analysis_cache(namespace)
+            for key, value in entries.items():
+                if key in own_patterns and key not in own:
+                    own[key] = value
+                    adopted += 1
+        return adopted
 
     def correct_processes(self, pattern: FailurePattern) -> ProcessSet:
         """Processes correct under ``pattern``."""

@@ -202,6 +202,207 @@ def adversarial_partition_system(
     return FailProneSystem(processes, patterns, name=name or "one-way-splits(n={})".format(n))
 
 
+# ---------------------------------------------------------------------- #
+# Production-size families (scale surface of the decision procedure)
+# ---------------------------------------------------------------------- #
+def _zone_blocks(ordered: Sequence[ProcessId], anchor_size: int, zones: int) -> List[List[ProcessId]]:
+    """Split ``ordered`` into ``zones`` contiguous blocks; block 0 has ``anchor_size``."""
+    blocks = [list(ordered[:anchor_size])]
+    rest = list(ordered[anchor_size:])
+    per_zone, extra = divmod(len(rest), zones - 1)
+    start = 0
+    for z in range(zones - 1):
+        size = per_zone + (1 if z < extra else 0)
+        blocks.append(rest[start : start + size])
+        start += size
+    return blocks
+
+
+def _island_channels(
+    survivors: Sequence[ProcessId], zone_of: Mapping[ProcessId, int]
+) -> List[Channel]:
+    """Channels among ``survivors`` that cross a zone boundary (the failed fabric)."""
+    return [
+        (p, q)
+        for p in survivors
+        for q in survivors
+        if p != q and zone_of[p] != zone_of[q]
+    ]
+
+
+def large_threshold_system(
+    n: int = 60,
+    max_crashes: int = 3,
+    num_patterns: Optional[int] = None,
+    zones: int = 1,
+    catastrophic: bool = False,
+    name: Optional[str] = None,
+) -> FailProneSystem:
+    """A production-size threshold family: rotating crash windows over ``n`` processes.
+
+    With ``zones == 1`` this is the scalable cousin of
+    :meth:`FailProneSystem.crash_threshold`: instead of enumerating all
+    ``C(n, k)`` maximal patterns (hopeless for ``n`` in the hundreds), pattern
+    ``i`` crashes one contiguous *window* of ``max_crashes`` processes, with
+    window starts spread evenly around the ring of crashable processes.
+    ``num_patterns`` defaults to one window per start position (``n``, or the
+    non-anchor count in the zoned construction), so systems with hundreds of
+    processes and hundreds of patterns stay constructible; asking for more
+    patterns than start positions wraps around and repeats windows.
+
+    With ``zones > 1`` each crash also takes down the inter-zone switch
+    fabric: processes are split into contiguous zones (zone 0 is a small
+    hardened *anchor* zone that crash windows never touch), and every channel
+    between different zones may drop, leaving each zone an isolated island.
+    With ``catastrophic=True`` a final ``blackout`` pattern is appended in
+    which every non-anchor process crashes and the anchor zone's internal
+    network degrades to a one-way chain — the worst-case instance family for
+    the candidate-choice search, because the (larger, hence preferred)
+    non-anchor islands of every other pattern are incompatible with all of the
+    blackout's candidates.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 processes")
+    if zones < 1:
+        raise ValueError("zones must be at least 1")
+    if catastrophic and zones < 2:
+        raise ValueError("a catastrophic blackout pattern requires zones >= 2")
+    width = len(str(n - 1))
+    processes = ["p{:0{}d}".format(i, width) for i in range(n)]
+    if zones == 1:
+        anchor: List[ProcessId] = []
+        blocks = [processes]
+        crashable = list(processes)
+    else:
+        if n < 3 * zones:
+            raise ValueError("zoned construction needs n >= 3 * zones")
+        anchor_size = max(2, n // (2 * zones))
+        blocks = _zone_blocks(processes, anchor_size, zones)
+        anchor = blocks[0]
+        crashable = [p for p in processes if p not in set(anchor)]
+    if not 0 <= max_crashes < len(crashable):
+        raise ValueError("max_crashes must be in [0, {})".format(len(crashable)))
+    zone_of: Dict[ProcessId, int] = {}
+    for z, block in enumerate(blocks):
+        for p in block:
+            zone_of[p] = z
+
+    count = len(crashable) if num_patterns is None else num_patterns
+    if count < 1:
+        raise ValueError("num_patterns must be at least 1")
+    stride = max(1, len(crashable) // count)
+    patterns = []
+    for i in range(count):
+        start = (i * stride) % len(crashable)
+        window = {crashable[(start + j) % len(crashable)] for j in range(max_crashes)}
+        survivors = [p for p in processes if p not in window]
+        channels = _island_channels(survivors, zone_of) if zones > 1 else []
+        patterns.append(FailurePattern(window, channels, name="window-{}".format(i)))
+    if catastrophic:
+        chain = {(anchor[j], anchor[j + 1]) for j in range(len(anchor) - 1)}
+        broken = [
+            (p, q) for p in anchor for q in anchor if p != q and (p, q) not in chain
+        ]
+        patterns.append(FailurePattern(crashable, broken, name="blackout"))
+    return FailProneSystem(
+        processes,
+        patterns,
+        name=name
+        or "large-threshold(n={}, k={}, zones={}{})".format(
+            n, max_crashes, zones, ", catastrophic" if catastrophic else ""
+        ),
+    )
+
+
+def multi_region_system(
+    regions: int = 4,
+    replicas_per_region: int = 3,
+    primary_replicas: Optional[int] = None,
+    epochs: Optional[int] = None,
+    catastrophic: bool = True,
+    name: Optional[str] = None,
+) -> FailProneSystem:
+    """A large geo-replicated family: replica regions whose WAN fabric fails.
+
+    Region ``g0`` is the hardened *primary* (``primary_replicas`` replicas,
+    default ``replicas_per_region - 1``); regions ``g1 ..`` are secondaries
+    with ``replicas_per_region`` replicas each.  Two kinds of patterns:
+
+    * ``wan-i`` (one per epoch, default ``regions`` epochs): the WAN drops
+      entirely — every inter-region channel between survivors may fail, so
+      each region becomes an isolated island — while rolling maintenance
+      crashes replica ``i mod replicas_per_region`` of every *secondary*
+      region (the primary never crashes).
+    * ``blackout`` (with ``catastrophic=True``): every secondary region is
+      down and the primary's internal network degrades to a one-way chain of
+      replicas.
+
+    A GQS always exists (pick the primary island for every WAN epoch and any
+    primary replica for the blackout), but the secondary islands are larger
+    than the primary island whenever ``replicas_per_region - 1 >
+    primary_replicas``, so a search that prefers large read quorums commits to
+    a secondary region and only discovers deep in the pattern sequence that
+    the blackout admits no compatible candidate.  This makes the family the
+    canonical stress test for forward-checking versus the reference
+    backtracker, on top of being a realistic "many regions, flaky WAN" model
+    in the spirit of the partial-partition studies the paper cites.
+    """
+    if regions < 2:
+        raise ValueError("need at least 2 regions")
+    if replicas_per_region < 2:
+        raise ValueError("secondary regions need at least 2 replicas")
+    primary = primary_replicas if primary_replicas is not None else max(2, replicas_per_region - 1)
+    if primary < 2:
+        raise ValueError("the primary region needs at least 2 replicas")
+    count = epochs if epochs is not None else regions
+    if count < 1:
+        raise ValueError("need at least 1 WAN epoch")
+    region_width = len(str(regions - 1))
+    replica_width = len(str(max(replicas_per_region, primary) - 1))
+
+    def pid(region: int, replica: int) -> str:
+        return "g{:0{}d}m{:0{}d}".format(region, region_width, replica, replica_width)
+
+    processes: List[ProcessId] = []
+    region_of: Dict[ProcessId, int] = {}
+    primary_procs = [pid(0, j) for j in range(primary)]
+    for p in primary_procs:
+        region_of[p] = 0
+    processes.extend(primary_procs)
+    for r in range(1, regions):
+        for j in range(replicas_per_region):
+            p = pid(r, j)
+            region_of[p] = r
+            processes.append(p)
+
+    patterns = []
+    for i in range(count):
+        crashed = {pid(r, i % replicas_per_region) for r in range(1, regions)}
+        survivors = [p for p in processes if p not in crashed]
+        channels = _island_channels(survivors, region_of)
+        patterns.append(FailurePattern(crashed, channels, name="wan-{}".format(i)))
+    if catastrophic:
+        crashed_all = [p for p in processes if region_of[p] != 0]
+        chain = {
+            (primary_procs[j], primary_procs[j + 1]) for j in range(len(primary_procs) - 1)
+        }
+        broken = [
+            (p, q)
+            for p in primary_procs
+            for q in primary_procs
+            if p != q and (p, q) not in chain
+        ]
+        patterns.append(FailurePattern(crashed_all, broken, name="blackout"))
+    return FailProneSystem(
+        processes,
+        patterns,
+        name=name
+        or "multi-region(regions={}, replicas={}, primary={}{})".format(
+            regions, replicas_per_region, primary, ", catastrophic" if catastrophic else ""
+        ),
+    )
+
+
 def all_crash_patterns(processes: Sequence[ProcessId], k: int) -> List[FailurePattern]:
     """All crash-only patterns with exactly ``k`` crashed processes."""
     return [
@@ -242,6 +443,8 @@ TOPOLOGY_KINDS: Dict[str, Any] = {
     "minority": _minority_topology,
     "adversarial-partition": adversarial_partition_system,
     "random": random_fail_prone_system,
+    "large-threshold": large_threshold_system,
+    "multi-region": multi_region_system,
 }
 
 
@@ -261,7 +464,9 @@ def builtin_fail_prone_system(name: str) -> FailProneSystem:
     """Resolve a built-in fail-prone system from its CLI name.
 
     Accepted names: ``figure1``, ``figure1-modified``, ``ring-<n>``,
-    ``geo-<sites>x<replicas>``, ``minority-<n>`` and ``adversarial-<n>``.
+    ``geo-<sites>x<replicas>``, ``minority-<n>``, ``adversarial-<n>``,
+    ``large-threshold-<n>x<k>[x<zones>]`` (zoned variants append a
+    catastrophic blackout pattern) and ``multiregion-<regions>x<replicas>``.
     """
     try:
         if name == "figure1":
@@ -277,9 +482,26 @@ def builtin_fail_prone_system(name: str) -> FailProneSystem:
             return _minority_topology(int(name.split("-", 1)[1]))
         if name.startswith("adversarial-"):
             return adversarial_partition_system(int(name.split("-", 1)[1]))
+        if name.startswith("large-threshold-"):
+            parts = name[len("large-threshold-") :].split("x")
+            if len(parts) == 2:
+                return large_threshold_system(n=int(parts[0]), max_crashes=int(parts[1]))
+            if len(parts) == 3:
+                return large_threshold_system(
+                    n=int(parts[0]),
+                    max_crashes=int(parts[1]),
+                    zones=int(parts[2]),
+                    catastrophic=True,
+                )
+        if name.startswith("multiregion-"):
+            regions, replicas = name.split("-", 1)[1].split("x")
+            return multi_region_system(
+                regions=int(regions), replicas_per_region=int(replicas)
+            )
     except ValueError:
         pass
     raise ReproError(
         "unknown built-in system {!r}; use figure1, figure1-modified, ring-<n>, "
-        "geo-<sites>x<replicas>, minority-<n> or adversarial-<n>".format(name)
+        "geo-<sites>x<replicas>, minority-<n>, adversarial-<n>, "
+        "large-threshold-<n>x<k>[x<zones>] or multiregion-<regions>x<replicas>".format(name)
     )

@@ -1,6 +1,7 @@
 """Directed-graph substrate: the network graph and residual-graph algorithms."""
 
 from .digraph import DiGraph
+from .bitset import BitsetDiGraph, ProcessIndex, iter_bits, popcount
 from .connectivity import (
     can_reach,
     condensation,
@@ -15,12 +16,16 @@ from .connectivity import (
 )
 
 __all__ = [
+    "BitsetDiGraph",
     "DiGraph",
+    "ProcessIndex",
     "can_reach",
     "condensation",
     "has_path",
     "is_strongly_connected",
+    "iter_bits",
     "mutually_reachable",
+    "popcount",
     "reachable_from",
     "scc_of",
     "set_reaches_set",

@@ -1,0 +1,254 @@
+"""Integer-bitmask view of process sets and graphs.
+
+The decision procedure spends nearly all of its time intersecting process sets
+and computing reachability closures in residual graphs.  Both collapse to
+machine-word operations once every process is assigned a fixed bit position:
+a set of processes becomes a Python ``int``, set intersection becomes ``&``,
+and a breadth-first closure unions whole successor rows in O(n/64) words per
+step instead of hashing individual elements.
+
+Two types are provided:
+
+* :class:`ProcessIndex` — an immutable, deterministically ordered assignment
+  of processes to bit positions (sorted with :func:`repro.types.sort_key`, so
+  the mapping never depends on ``PYTHONHASHSEED``);
+* :class:`BitsetDiGraph` — a directed graph whose adjacency is one successor
+  mask and one predecessor mask per vertex, with reachability, backward
+  reachability, and strongly connected components over masks.
+
+The bitmask layer is a *view*: :class:`~repro.graph.digraph.DiGraph` remains
+the construction-friendly representation, and
+:meth:`BitsetDiGraph.from_digraph` converts once per graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from ..types import Channel, ProcessId, ProcessSet, sort_key, sorted_processes
+from .digraph import DiGraph
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask``."""
+    return bin(mask).count("1")
+
+
+class ProcessIndex:
+    """A fixed, deterministic process ↔ bit-position mapping.
+
+    Processes are ordered with :func:`repro.types.sort_key`, so the same
+    process set always produces the same mapping regardless of the hash seed
+    or of the iteration order of the input.
+    """
+
+    __slots__ = ("_processes", "_positions", "_full_mask")
+
+    def __init__(self, processes: Iterable[ProcessId]) -> None:
+        self._processes: Tuple[ProcessId, ...] = tuple(sorted_processes(set(processes)))
+        self._positions: Dict[ProcessId, int] = {
+            p: i for i, p in enumerate(self._processes)
+        }
+        self._full_mask = (1 << len(self._processes)) - 1
+
+    @property
+    def processes(self) -> Tuple[ProcessId, ...]:
+        """All indexed processes, in bit-position order."""
+        return self._processes
+
+    @property
+    def full_mask(self) -> int:
+        """The mask with every indexed process's bit set."""
+        return self._full_mask
+
+    def __len__(self) -> int:
+        return len(self._processes)
+
+    def __contains__(self, process: ProcessId) -> bool:
+        return process in self._positions
+
+    def position(self, process: ProcessId) -> int:
+        """Bit position of ``process``; raises ``KeyError`` if unindexed."""
+        return self._positions[process]
+
+    def process_at(self, position: int) -> ProcessId:
+        """The process assigned to ``position``."""
+        return self._processes[position]
+
+    def mask_of(self, processes: Iterable[ProcessId]) -> int:
+        """Encode a collection of processes as a bitmask."""
+        mask = 0
+        for p in processes:
+            mask |= 1 << self._positions[p]
+        return mask
+
+    def set_of(self, mask: int) -> ProcessSet:
+        """Decode a bitmask back into a frozen process set."""
+        return frozenset(self._processes[i] for i in iter_bits(mask))
+
+    def sorted_list(self, mask: int) -> List[ProcessId]:
+        """Decode a bitmask into a deterministically sorted list."""
+        return [self._processes[i] for i in iter_bits(mask)]
+
+    def __repr__(self) -> str:
+        return "ProcessIndex(n={})".format(len(self._processes))
+
+
+class BitsetDiGraph:
+    """A directed graph stored as per-vertex successor/predecessor masks.
+
+    Vertices are bit positions of a shared :class:`ProcessIndex`; a vertex may
+    be absent (its bit unset in :attr:`vertex_mask`), which is how residual
+    graphs drop crashed processes without re-indexing.
+    """
+
+    __slots__ = ("index", "vertex_mask", "_succ", "_pred")
+
+    def __init__(
+        self,
+        index: ProcessIndex,
+        vertex_mask: int,
+        succ: List[int],
+        pred: List[int],
+    ) -> None:
+        self.index = index
+        self.vertex_mask = vertex_mask
+        self._succ = succ
+        self._pred = pred
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_digraph(cls, graph: DiGraph, index: Optional[ProcessIndex] = None) -> "BitsetDiGraph":
+        """Convert a :class:`DiGraph` into its bitmask view."""
+        if index is None:
+            index = ProcessIndex(graph.vertices)
+        n = len(index)
+        succ = [0] * n
+        pred = [0] * n
+        vertex_mask = index.mask_of(graph.vertices)
+        for src, dst in graph.edges():
+            i, j = index.position(src), index.position(dst)
+            succ[i] |= 1 << j
+            pred[j] |= 1 << i
+        return cls(index, vertex_mask, succ, pred)
+
+    def residual(self, crashed: Iterable[ProcessId], disconnected: Iterable[Channel]) -> "BitsetDiGraph":
+        """The residual graph with ``crashed`` vertices and ``disconnected`` edges removed.
+
+        Channels incident to a crashed vertex disappear with the vertex, as in
+        :meth:`DiGraph.without`.
+        """
+        crash_mask = self.index.mask_of(crashed)
+        keep = ~crash_mask
+        vertex_mask = self.vertex_mask & keep
+        succ = [row & keep for row in self._succ]
+        pred = [row & keep for row in self._pred]
+        for i in iter_bits(crash_mask):
+            succ[i] = 0
+            pred[i] = 0
+        # Batch the dropped channels into one clear-mask per endpoint: large
+        # patterns disconnect tens of thousands of channels, and one wide
+        # integer operation per vertex beats one per channel.
+        positions = self.index._positions
+        succ_clear: Dict[int, int] = {}
+        pred_clear: Dict[int, int] = {}
+        for src, dst in disconnected:
+            i, j = positions[src], positions[dst]
+            succ_clear[i] = succ_clear.get(i, 0) | (1 << j)
+            pred_clear[j] = pred_clear.get(j, 0) | (1 << i)
+        for i, clear in succ_clear.items():
+            succ[i] &= ~clear
+        for j, clear in pred_clear.items():
+            pred[j] &= ~clear
+        return BitsetDiGraph(self.index, vertex_mask, succ, pred)
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    def num_vertices(self) -> int:
+        """Number of present vertices."""
+        return popcount(self.vertex_mask)
+
+    def successor_mask(self, position: int) -> int:
+        """Successors of the vertex at ``position`` as a mask."""
+        return self._succ[position]
+
+    def predecessor_mask(self, position: int) -> int:
+        """Predecessors of the vertex at ``position`` as a mask."""
+        return self._pred[position]
+
+    # ------------------------------------------------------------------ #
+    # Reachability
+    # ------------------------------------------------------------------ #
+    def reachable_mask(self, sources: int) -> int:
+        """Every vertex reachable from any source bit (sources included)."""
+        reach = sources & self.vertex_mask
+        frontier = reach
+        succ = self._succ
+        while frontier:
+            grown = 0
+            for i in iter_bits(frontier):
+                grown |= succ[i]
+            frontier = grown & ~reach
+            reach |= frontier
+        return reach
+
+    def can_reach_mask(self, targets: int) -> int:
+        """Every vertex from which some target bit is reachable (targets included)."""
+        reach = targets & self.vertex_mask
+        frontier = reach
+        pred = self._pred
+        while frontier:
+            grown = 0
+            for i in iter_bits(frontier):
+                grown |= pred[i]
+            frontier = grown & ~reach
+            reach |= frontier
+        return reach
+
+    def mutually_reachable(self, mask: int) -> bool:
+        """Whether all vertices in ``mask`` can reach each other.
+
+        Mirrors :func:`repro.graph.connectivity.mutually_reachable`: mutual
+        reachability within the whole graph, empty/singleton masks trivially
+        pass when present.
+        """
+        mask &= self.index.full_mask
+        if mask & ~self.vertex_mask:
+            return False
+        if popcount(mask) <= 1:
+            return True
+        anchor = mask & -mask
+        forward = self.reachable_mask(anchor)
+        backward = self.can_reach_mask(anchor)
+        return mask & ~(forward & backward) == 0
+
+    def scc_masks(self) -> List[int]:
+        """Strongly connected components as masks, ordered by lowest member bit.
+
+        The order is canonical (ascending lowest bit position of each
+        component), hence independent of both hash seed and traversal order.
+        """
+        components: List[int] = []
+        remaining = self.vertex_mask
+        while remaining:
+            anchor = remaining & -remaining
+            forward = self.reachable_mask(anchor)
+            backward = self.can_reach_mask(anchor)
+            component = forward & backward & remaining
+            components.append(component)
+            remaining &= ~component
+        return components
+
+
+__all__ = ["BitsetDiGraph", "ProcessIndex", "iter_bits", "popcount"]

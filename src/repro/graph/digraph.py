@@ -9,13 +9,15 @@ reachability and strongly connected components of such graphs, so this module
 provides exactly those primitives with no external dependencies.
 
 The implementation favours clarity and determinism: vertex iteration order is
-insertion order, and all algorithms are iterative (no recursion) so that large
-simulated networks do not hit Python's recursion limit.
+insertion order, *neighbour* iteration order is edge-insertion order (the
+adjacency structure is dict-backed, never a hash set, so no traversal depends
+on ``PYTHONHASHSEED``), and all algorithms are iterative (no recursion) so that
+large simulated networks do not hit Python's recursion limit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from ..types import Channel, ProcessId, sorted_processes
 
@@ -37,8 +39,10 @@ class DiGraph:
         vertices: Optional[Iterable[ProcessId]] = None,
         edges: Optional[Iterable[Channel]] = None,
     ) -> None:
-        self._succ: Dict[ProcessId, Set[ProcessId]] = {}
-        self._pred: Dict[ProcessId, Set[ProcessId]] = {}
+        # Adjacency is dict-of-dicts (values unused): a dict preserves
+        # insertion order, so every neighbour iteration is deterministic.
+        self._succ: Dict[ProcessId, Dict[ProcessId, None]] = {}
+        self._pred: Dict[ProcessId, Dict[ProcessId, None]] = {}
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -52,8 +56,8 @@ class DiGraph:
     def add_vertex(self, v: ProcessId) -> None:
         """Add vertex ``v`` (no-op if already present)."""
         if v not in self._succ:
-            self._succ[v] = set()
-            self._pred[v] = set()
+            self._succ[v] = {}
+            self._pred[v] = {}
 
     def add_edge(self, src: ProcessId, dst: ProcessId) -> None:
         """Add the directed edge ``src -> dst``; endpoints are added as needed.
@@ -66,24 +70,24 @@ class DiGraph:
             return
         self.add_vertex(src)
         self.add_vertex(dst)
-        self._succ[src].add(dst)
-        self._pred[dst].add(src)
+        self._succ[src][dst] = None
+        self._pred[dst][src] = None
 
     def remove_vertex(self, v: ProcessId) -> None:
         """Remove vertex ``v`` and every incident edge."""
         if v not in self._succ:
             return
         for w in self._succ.pop(v):
-            self._pred[w].discard(v)
+            self._pred[w].pop(v, None)
         for w in self._pred.pop(v):
-            self._succ[w].discard(v)
+            self._succ[w].pop(v, None)
 
     def remove_edge(self, src: ProcessId, dst: ProcessId) -> None:
         """Remove the edge ``src -> dst`` if present."""
         if src in self._succ:
-            self._succ[src].discard(dst)
+            self._succ[src].pop(dst, None)
         if dst in self._pred:
-            self._pred[dst].discard(src)
+            self._pred[dst].pop(src, None)
 
     def copy(self) -> "DiGraph":
         """Return an independent copy of the graph."""
@@ -126,13 +130,13 @@ class DiGraph:
         """Return whether the edge ``src -> dst`` is present."""
         return src in self._succ and dst in self._succ[src]
 
-    def successors(self, v: ProcessId) -> FrozenSet[ProcessId]:
-        """Out-neighbours of ``v``."""
-        return frozenset(self._succ.get(v, ()))
+    def successors(self, v: ProcessId) -> Tuple[ProcessId, ...]:
+        """Out-neighbours of ``v``, in deterministic edge-insertion order."""
+        return tuple(self._succ.get(v, ()))
 
-    def predecessors(self, v: ProcessId) -> FrozenSet[ProcessId]:
-        """In-neighbours of ``v``."""
-        return frozenset(self._pred.get(v, ()))
+    def predecessors(self, v: ProcessId) -> Tuple[ProcessId, ...]:
+        """In-neighbours of ``v``, in deterministic edge-insertion order."""
+        return tuple(self._pred.get(v, ()))
 
     def out_degree(self, v: ProcessId) -> int:
         """Number of out-neighbours of ``v``."""

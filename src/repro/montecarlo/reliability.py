@@ -55,9 +55,21 @@ def _sample_pattern(
     crash_prob: float,
     disconnect_prob: float,
 ) -> FailurePattern:
+    """Sample one i.i.d. failure pattern, conditioned on at least one survivor.
+
+    A pattern that crashes *every* process is meaningless for availability
+    (all three conditions fail trivially and forever), so the all-crashed draw
+    is adjusted by un-crashing one process **chosen uniformly at random**.
+    Silently reviving the last process in iteration order — the previous
+    behaviour — gave that one process a systematically higher survival
+    probability at high ``crash_prob``, biasing exactly the grid cells where
+    the adjustment fires most often.  The uniform choice spends one extra
+    ``rng`` draw only in the all-crashed branch, so sample streams for
+    non-degenerate draws are unchanged.
+    """
     crashed = [p for p in processes if rng.random() < crash_prob]
     if len(crashed) == len(processes):
-        crashed = crashed[:-1]
+        crashed.pop(rng.randrange(len(crashed)))
     survivors = [p for p in processes if p not in crashed]
     channels = [
         (src, dst)

@@ -16,9 +16,11 @@ from .generalized import (
 from .repair import RepairReport, RepairSuggestion, harden_channels, suggest_channel_repairs
 from .strong import StrongQuorumSystem, strong_system_exists
 from .discovery import (
+    DISCOVERY_ALGORITHMS,
     CandidateQuorumPair,
     DiscoveryResult,
     candidate_pairs,
+    candidate_pairs_reference,
     classify_fail_prone_system,
     discover_gqs,
     find_gqs,
@@ -28,6 +30,7 @@ from .discovery import (
 
 __all__ = [
     "CandidateQuorumPair",
+    "DISCOVERY_ALGORITHMS",
     "DiscoveryResult",
     "GeneralizedQuorumSystem",
     "QuorumSystem",
@@ -35,6 +38,7 @@ __all__ = [
     "RepairSuggestion",
     "StrongQuorumSystem",
     "candidate_pairs",
+    "candidate_pairs_reference",
     "classify_fail_prone_system",
     "discover_gqs",
     "find_gqs",

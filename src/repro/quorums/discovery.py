@@ -13,10 +13,33 @@ the residual graph ``G \\ f`` hosts the write quorum:
 
 Enlarging quorums only helps Consistency, so a GQS exists **iff** one SCC
 ``S_f`` can be chosen per pattern such that ``CanReach_f(S_f) ∩ S_g ≠ ∅`` for
-every ordered pair of patterns ``(f, g)``.  That choice problem is solved by
-backtracking with pairwise pruning; for the fail-prone systems in the paper and
-the experiments it is effectively instantaneous, and a (size-guarded)
-brute-force reference implementation is provided for cross-checking.
+every ordered pair of patterns ``(f, g)``.
+
+That choice problem is a binary constraint-satisfaction problem over the
+per-pattern candidate lists, and this module solves it at two speeds:
+
+* ``algorithm="pruned"`` (the default): candidates are enumerated on the
+  memoized bitmask view of each residual graph
+  (:meth:`repro.failures.FailProneSystem.residual_bitset`), pairwise
+  compatibility is evaluated with integer masks and memoized row-by-row, and
+  the search runs backtracking with *forward checking* — assigning a candidate
+  immediately prunes the viable-candidate domains of every unassigned pattern,
+  so a choice that dooms a later pattern fails at the assignment instead of
+  after an exponential subtree.  All derived per-pattern structures are cached
+  on the :class:`~repro.failures.FailProneSystem` itself, which is what makes
+  repeated discovery (repair search, classification sweeps) incremental.
+* ``algorithm="naive"``: the original reference backtracker, kept as a
+  differential-testing oracle and benchmark baseline.  It re-derives residual
+  graphs with ordinary set operations and checks compatibility only against
+  the already-chosen prefix, exploring (and counting) every candidate it
+  tries.
+
+Both algorithms see the same fully specified candidate order (read-quorum size
+descending, then write-quorum size, then the sorted process lists), visit
+patterns in the same order, and are deterministic: no output — witness
+quorums, candidate order or ``nodes_explored`` — depends on
+``PYTHONHASHSEED``.  A (size-guarded) brute-force reference implementation
+over arbitrary subsets is provided for cross-checking on tiny systems.
 """
 
 from __future__ import annotations
@@ -27,9 +50,16 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import NoQuorumSystemExistsError
 from ..failures import FailProneSystem, FailurePattern
-from ..graph import can_reach, strongly_connected_components
-from ..types import ProcessId, ProcessSet, sorted_processes
+from ..graph import can_reach, iter_bits, strongly_connected_components
+from ..types import ProcessId, ProcessSet, sort_key, sorted_processes
 from .generalized import GeneralizedQuorumSystem, is_f_available, is_f_reachable
+
+#: Namespace under which per-pattern candidate structures are memoized on a
+#: :class:`FailProneSystem` (see :meth:`FailProneSystem.analysis_cache`).
+CANDIDATE_CACHE_NAMESPACE = "gqs-candidates"
+
+#: The supported search strategies of :func:`discover_gqs`.
+DISCOVERY_ALGORITHMS = ("pruned", "naive")
 
 
 @dataclass(frozen=True)
@@ -45,6 +75,15 @@ class CandidateQuorumPair:
     read_quorum: ProcessSet
 
 
+@dataclass(frozen=True)
+class _MaskedCandidate:
+    """A candidate pair together with its bitmask encodings."""
+
+    pair: CandidateQuorumPair
+    read_mask: int
+    write_mask: int
+
+
 @dataclass
 class DiscoveryResult:
     """Outcome of a GQS search over a fail-prone system."""
@@ -55,9 +94,50 @@ class DiscoveryResult:
     choices: Dict[FailurePattern, CandidateQuorumPair] = field(default_factory=dict)
     candidates_per_pattern: Dict[FailurePattern, int] = field(default_factory=dict)
     nodes_explored: int = 0
+    algorithm: str = "pruned"
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.exists
+
+
+def _candidate_sort_key(pair: CandidateQuorumPair):
+    """Total order on candidates: no tie is left to traversal order.
+
+    Larger read quorums intersect more write quorums, so they are tried first;
+    remaining ties are broken by the deterministically sorted process lists of
+    the write then read quorum, making candidate order — and therefore the
+    chosen witness and ``nodes_explored`` — fully specified.
+    """
+    return (
+        -len(pair.read_quorum),
+        -len(pair.write_quorum),
+        tuple(sort_key(p) for p in sorted_processes(pair.write_quorum)),
+        tuple(sort_key(p) for p in sorted_processes(pair.read_quorum)),
+    )
+
+
+def _masked_candidates(
+    fail_prone: FailProneSystem, pattern: FailurePattern
+) -> Tuple[_MaskedCandidate, ...]:
+    """Candidates for ``pattern`` with bitmasks, memoized on the system."""
+    cache = fail_prone.analysis_cache(CANDIDATE_CACHE_NAMESPACE)
+    cached = cache.get(pattern)
+    if cached is None:
+        index = fail_prone.process_index
+        residual = fail_prone.residual_bitset(pattern)
+        entries: List[_MaskedCandidate] = []
+        for component in residual.scc_masks():
+            readers = residual.can_reach_mask(component)
+            pair = CandidateQuorumPair(
+                pattern=pattern,
+                write_quorum=index.set_of(component),
+                read_quorum=index.set_of(readers),
+            )
+            entries.append(_MaskedCandidate(pair, readers, component))
+        entries.sort(key=lambda entry: _candidate_sort_key(entry.pair))
+        cached = tuple(entries)
+        cache[pattern] = cached
+    return cached
 
 
 def candidate_pairs(
@@ -65,11 +145,24 @@ def candidate_pairs(
 ) -> List[CandidateQuorumPair]:
     """Enumerate the canonical candidate quorum pairs for ``pattern``.
 
-    One candidate per strongly connected component of the residual graph,
-    ordered by decreasing read-quorum size (larger read quorums intersect more
-    write quorums, so trying them first speeds up the backtracking search).
+    One candidate per strongly connected component of the residual graph, in
+    the fully specified order of :func:`_candidate_sort_key`.  Results are
+    memoized on ``fail_prone`` and computed on its bitmask residual view.
     """
-    residual = fail_prone.residual_graph(pattern)
+    return [entry.pair for entry in _masked_candidates(fail_prone, pattern)]
+
+
+def candidate_pairs_reference(
+    fail_prone: FailProneSystem, pattern: FailurePattern
+) -> List[CandidateQuorumPair]:
+    """Uncached set-based candidate enumeration (the pre-bitmask pipeline).
+
+    Retained as the differential-testing oracle for :func:`candidate_pairs`
+    and as the honest cost baseline of ``algorithm="naive"``: residual graph,
+    Tarjan SCCs and reader closures are recomputed from scratch with ordinary
+    set operations on every call.
+    """
+    residual = pattern.residual_graph(fail_prone._graph)
     candidates: List[CandidateQuorumPair] = []
     for component in strongly_connected_components(residual):
         if not component:
@@ -78,7 +171,7 @@ def candidate_pairs(
         candidates.append(
             CandidateQuorumPair(pattern=pattern, write_quorum=component, read_quorum=readers)
         )
-    candidates.sort(key=lambda c: (len(c.read_quorum), len(c.write_quorum)), reverse=True)
+    candidates.sort(key=_candidate_sort_key)
     return candidates
 
 
@@ -87,24 +180,11 @@ def _compatible(a: CandidateQuorumPair, b: CandidateQuorumPair) -> bool:
     return bool(a.read_quorum & b.write_quorum) and bool(b.read_quorum & a.write_quorum)
 
 
-def discover_gqs(fail_prone: FailProneSystem, validate: bool = True) -> DiscoveryResult:
-    """Search for a generalized quorum system over ``fail_prone``.
-
-    Returns a :class:`DiscoveryResult`; when a GQS exists, ``quorum_system``
-    holds the canonical witness built from the chosen per-pattern candidates.
-    """
-    patterns = list(fail_prone.patterns)
-    result = DiscoveryResult(fail_prone=fail_prone, exists=False)
-    per_pattern: List[List[CandidateQuorumPair]] = []
-    for f in patterns:
-        cands = candidate_pairs(fail_prone, f)
-        result.candidates_per_pattern[f] = len(cands)
-        if not cands:
-            return result
-        per_pattern.append(cands)
-
-    # Order patterns by increasing number of candidates (fail fast).
-    order = sorted(range(len(patterns)), key=lambda i: len(per_pattern[i]))
+def _naive_search(
+    per_pattern: Sequence[Sequence[CandidateQuorumPair]], result: DiscoveryResult
+) -> Optional[List[CandidateQuorumPair]]:
+    """The reference backtracker: pairwise checks against the chosen prefix."""
+    order = sorted(range(len(per_pattern)), key=lambda i: len(per_pattern[i]))
     chosen: List[CandidateQuorumPair] = []
 
     def backtrack(depth: int) -> bool:
@@ -119,7 +199,122 @@ def discover_gqs(fail_prone: FailProneSystem, validate: bool = True) -> Discover
                 chosen.pop()
         return False
 
-    if not backtrack(0):
+    return chosen if backtrack(0) else None
+
+
+def _pruned_search(
+    per_pattern: Sequence[Tuple[_MaskedCandidate, ...]], result: DiscoveryResult
+) -> Optional[List[CandidateQuorumPair]]:
+    """Forward-checking search over the memoized compatibility matrix.
+
+    Domains are integer bitmasks over candidate indices.  Assigning a
+    candidate intersects every unassigned pattern's domain with the
+    candidate's compatibility row; an emptied domain fails the assignment on
+    the spot (arc consistency with respect to the partial assignment), which
+    is what prevents the exponential thrashing of the reference backtracker on
+    systems whose preferred candidates doom a much later pattern.
+    """
+    m = len(per_pattern)
+    if m == 0:
+        return []
+    order = sorted(range(m), key=lambda i: len(per_pattern[i]))
+
+    rows: Dict[Tuple[int, int, int], int] = {}
+
+    def compatibility_row(i: int, ci: int, j: int) -> int:
+        """Bitmask of pattern ``j`` candidates compatible with candidate ``ci`` of ``i``.
+
+        Each row is computed at most once; the matrix is therefore
+        materialized lazily but never re-evaluated in the search inner loop.
+        """
+        key = (i, ci, j)
+        row = rows.get(key)
+        if row is None:
+            a = per_pattern[i][ci]
+            row = 0
+            for d, b in enumerate(per_pattern[j]):
+                if (a.read_mask & b.write_mask) and (b.read_mask & a.write_mask):
+                    row |= 1 << d
+            rows[key] = row
+        return row
+
+    # domain_stack[d] holds the candidate domains in force while searching at
+    # depth d (one bitmask per pattern, original pattern indexing).
+    domain_stack: List[List[int]] = [[(1 << len(cands)) - 1 for cands in per_pattern]]
+    iterators = [iter_bits(domain_stack[0][order[0]])]
+    assignment: List[int] = [-1] * m
+
+    while iterators:
+        depth = len(iterators) - 1
+        i = order[depth]
+        domains = domain_stack[depth]
+        advanced = False
+        for ci in iterators[depth]:
+            result.nodes_explored += 1
+            new_domains = list(domains)
+            new_domains[i] = 1 << ci
+            viable = True
+            for later in range(depth + 1, m):
+                j = order[later]
+                pruned = domains[j] & compatibility_row(i, ci, j)
+                if pruned == 0:
+                    viable = False
+                    break
+                new_domains[j] = pruned
+            if not viable:
+                continue
+            assignment[i] = ci
+            if depth + 1 == m:
+                return [per_pattern[k][assignment[k]].pair for k in range(m)]
+            domain_stack.append(new_domains)
+            iterators.append(iter_bits(new_domains[order[depth + 1]]))
+            advanced = True
+            break
+        if not advanced:
+            iterators.pop()
+            domain_stack.pop()
+    return None
+
+
+def discover_gqs(
+    fail_prone: FailProneSystem, validate: bool = True, algorithm: str = "pruned"
+) -> DiscoveryResult:
+    """Search for a generalized quorum system over ``fail_prone``.
+
+    Returns a :class:`DiscoveryResult`; when a GQS exists, ``quorum_system``
+    holds the canonical witness built from the chosen per-pattern candidates.
+    ``algorithm`` selects the search strategy (see the module docstring);
+    both strategies return the same verdict and, on success, the same
+    witness.
+    """
+    if algorithm not in DISCOVERY_ALGORITHMS:
+        raise ValueError(
+            "unknown discovery algorithm {!r}; expected one of {}".format(
+                algorithm, DISCOVERY_ALGORITHMS
+            )
+        )
+    patterns = list(fail_prone.patterns)
+    result = DiscoveryResult(fail_prone=fail_prone, exists=False, algorithm=algorithm)
+
+    empty = False
+    if algorithm == "naive":
+        naive_candidates: List[List[CandidateQuorumPair]] = []
+        for f in patterns:
+            cands = candidate_pairs_reference(fail_prone, f)
+            result.candidates_per_pattern[f] = len(cands)
+            empty = empty or not cands
+            naive_candidates.append(cands)
+        chosen = None if empty else _naive_search(naive_candidates, result)
+    else:
+        masked: List[Tuple[_MaskedCandidate, ...]] = []
+        for f in patterns:
+            cands = _masked_candidates(fail_prone, f)
+            result.candidates_per_pattern[f] = len(cands)
+            empty = empty or not cands
+            masked.append(cands)
+        chosen = None if empty else _pruned_search(masked, result)
+
+    if chosen is None:
         return result
 
     result.exists = True

@@ -20,7 +20,7 @@ from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from ..failures import FailProneSystem, FailurePattern
 from ..types import Channel, sorted_channels
-from .discovery import gqs_exists
+from .discovery import CANDIDATE_CACHE_NAMESPACE, gqs_exists
 
 
 @dataclass
@@ -42,6 +42,10 @@ class RepairReport:
     suggestions: List[RepairSuggestion] = field(default_factory=list)
     candidates_considered: int = 0
     max_channels: int = 0
+    #: Per-pattern candidate-cache entries adopted from the base system across
+    #: all hardened variants instead of being recomputed (patterns untouched by
+    #: a hardening keep their residual graphs and candidate pairs).
+    candidates_reused: int = 0
 
     @property
     def repairable(self) -> bool:
@@ -57,15 +61,23 @@ def harden_channels(
     Each listed channel is removed from every pattern's disconnect set.  Note
     that channels incident to crash-prone processes remain faulty by default —
     hardening a channel does not make its endpoints reliable.
+
+    Patterns that list none of the hardened channels are value-identical in
+    the returned system, so its caches are warmed from ``fail_prone``: any
+    residual graph or discovery candidates already computed for an untouched
+    pattern are adopted instead of re-derived (see
+    :meth:`FailProneSystem.warm_caches_from`).
     """
     hardened = set((src, dst) for src, dst in channels)
     patterns = []
     for pattern in fail_prone.patterns:
         remaining = [ch for ch in pattern.disconnect_prone if ch not in hardened]
         patterns.append(FailurePattern(pattern.crash_prone, remaining, name=pattern.name))
-    return FailProneSystem(
+    system = FailProneSystem(
         fail_prone.processes, patterns, graph=fail_prone.graph, name=fail_prone.name
     )
+    system.warm_caches_from(fail_prone)
+    return system
 
 
 def suggest_channel_repairs(
@@ -98,7 +110,13 @@ def suggest_channel_repairs(
             if any(existing <= subset for existing in found):
                 continue  # a smaller repair already covers this one
             report.candidates_considered += 1
-            if gqs_exists(harden_channels(fail_prone, combo)):
+            hardened = harden_channels(fail_prone, combo)
+            report.candidates_reused += sum(
+                1
+                for pattern in hardened.patterns
+                if pattern in hardened.analysis_cache(CANDIDATE_CACHE_NAMESPACE)
+            )
+            if gqs_exists(hardened):
                 found.append(subset)
                 report.suggestions.append(RepairSuggestion(subset))
                 if max_suggestions is not None and len(found) >= max_suggestions:

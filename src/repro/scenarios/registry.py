@@ -246,6 +246,55 @@ register_scenario(
 
 register_scenario(
     ScenarioSpec(
+        name="zoned-threshold",
+        description=(
+            "A production-shaped threshold family: twelve processes in three "
+            "zones, rotating two-process crash windows that also take down the "
+            "inter-zone switch fabric, leaving each zone an isolated island. "
+            "The MWMR register keeps serving inside the surviving island."
+        ),
+        paper_section="S2 (arbitrary fail-prone systems); S5 (register)",
+        topology=TopologySpec(
+            "large-threshold",
+            {"n": 12, "max_crashes": 2, "num_patterns": 4, "zones": 3},
+        ),
+        failure=FailureSpec(pattern="window-0"),
+        delay=DelaySpec("uniform", {"min_delay": 0.4, "max_delay": 1.6}),
+        protocol=ProtocolSpec("register", {"push_interval": 1.0, "relay": True}),
+        workload=WorkloadSpec(ops_per_process=2, op_spacing=8.0, max_time=4_000.0),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="multi-region-blackout",
+        description=(
+            "Geo-replication at its worst: three regions whose WAN fails "
+            "epoch by epoch, ending in a blackout where every secondary region "
+            "is down and the primary's internal network degrades to a one-way "
+            "chain of replicas. The register must stay linearizable while "
+            "serving from the single chain replica in U_f."
+        ),
+        paper_section="S2 (model); S4 (GQS under weak connectivity); S5 (register)",
+        topology=TopologySpec(
+            "multi-region",
+            {
+                "regions": 3,
+                "replicas_per_region": 3,
+                "primary_replicas": 2,
+                "epochs": 3,
+                "catastrophic": True,
+            },
+        ),
+        failure=FailureSpec(pattern="blackout"),
+        delay=DelaySpec("uniform", {"min_delay": 0.4, "max_delay": 1.6}),
+        protocol=ProtocolSpec("register", {"push_interval": 1.0, "relay": True}),
+        workload=WorkloadSpec(ops_per_process=2, op_spacing=8.0, max_time=4_000.0),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
         name="paxos-baseline",
         description=(
             "The classical request/response Paxos baseline on the same "

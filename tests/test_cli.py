@@ -127,3 +127,78 @@ def test_check_with_repair_suggestions(capsys):
     assert status == 2
     assert "Hardening any of the following channel sets" in output
     assert "('a', 'b')" in output
+
+
+# ---------------------------------------------------------------------- #
+# quorums command group
+# ---------------------------------------------------------------------- #
+def test_quorums_discover_table(capsys):
+    status = main(["quorums", "discover", "--builtin", "figure1"])
+    output = capsys.readouterr().out
+    assert status == 0
+    assert "GQS witness" in output
+    assert "nodes explored" in output
+    assert "algorithm         : pruned" in output
+
+
+def test_quorums_discover_json_round_trips(capsys):
+    status = main(["quorums", "discover", "--builtin", "multiregion-4x3", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert status == 0
+    assert payload["exists"] is True
+    assert payload["algorithm"] == "pruned"
+    assert payload["nodes_explored"] >= len(payload["patterns"])
+    for row in payload["patterns"]:
+        assert row["candidates"] >= 1
+        assert row["read_quorum"] and row["write_quorum"]
+        assert set(row["write_quorum"]) <= set(row["read_quorum"])
+
+
+def test_quorums_discover_reports_impossibility(capsys):
+    status = main(["quorums", "discover", "--builtin", "figure1-modified"])
+    output = capsys.readouterr().out
+    assert status == 2
+    assert "NO generalized quorum system" in output
+
+
+def test_quorums_discover_naive_algorithm_agrees(capsys):
+    assert main(["quorums", "discover", "--builtin", "ring-5", "--format", "json"]) == 0
+    pruned = json.loads(capsys.readouterr().out)
+    assert (
+        main(
+            [
+                "quorums", "discover", "--builtin", "ring-5",
+                "--algorithm", "naive", "--format", "json",
+            ]
+        )
+        == 0
+    )
+    naive = json.loads(capsys.readouterr().out)
+    assert pruned["exists"] == naive["exists"] is True
+    assert pruned["patterns"] == naive["patterns"]
+
+
+def test_quorums_classify_table_and_json(capsys):
+    assert main(["quorums", "classify", "--builtin", "minority-5"]) == 0
+    output = capsys.readouterr().out
+    assert "classical quorum system (Definition 1) : True" in output
+    assert main(["quorums", "classify", "--builtin", "figure1", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["admits"] == {"classical": False, "strong": False, "generalized": True}
+
+
+def test_quorums_repair_finds_figure1_hardenings(capsys):
+    status = main(["quorums", "repair", "--builtin", "figure1-modified"])
+    output = capsys.readouterr().out
+    assert status == 0
+    assert "restores a GQS" in output
+    assert "('a', 'b')" in output
+    assert "cache entries reused" in output
+
+
+def test_quorums_repair_json_on_tolerable_system(capsys):
+    status = main(["quorums", "repair", "--builtin", "figure1", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert status == 0
+    assert payload["already_tolerable"] is True
+    assert payload["suggestions"] == []

@@ -5,14 +5,18 @@ import random
 import pytest
 
 from repro.failures import (
+    TOPOLOGY_KINDS,
     adversarial_partition_system,
     all_crash_patterns,
+    builtin_fail_prone_system,
     geo_replicated_system,
+    large_threshold_system,
+    multi_region_system,
     random_fail_prone_system,
     random_failure_pattern,
     ring_unidirectional_system,
 )
-from repro.quorums import gqs_exists
+from repro.quorums import discover_gqs, gqs_exists
 
 
 def test_random_failure_pattern_respects_max_crashes():
@@ -95,3 +99,121 @@ def test_all_crash_patterns():
     patterns = all_crash_patterns(["a", "b", "c"], 2)
     assert len(patterns) == 3
     assert all(len(p.crash_prone) == 2 for p in patterns)
+
+
+# ---------------------------------------------------------------------- #
+# Production-size families
+# ---------------------------------------------------------------------- #
+def test_large_threshold_plain_windows():
+    system = large_threshold_system(n=10, max_crashes=2, num_patterns=5)
+    assert len(system.processes) == 10
+    assert len(system) == 5
+    for pattern in system:
+        assert len(pattern.crash_prone) == 2
+        assert not pattern.disconnect_prone
+    assert gqs_exists(system)
+
+
+def test_large_threshold_scales_to_hundreds():
+    system = large_threshold_system(n=150, max_crashes=10, num_patterns=150)
+    assert len(system.processes) == 150
+    assert len(system) == 150
+    assert gqs_exists(system)
+
+
+def test_large_threshold_zoned_blackout_structure():
+    system = large_threshold_system(
+        n=18, max_crashes=2, num_patterns=6, zones=3, catastrophic=True
+    )
+    assert len(system) == 7  # 6 windows + the blackout
+    blackout = system.patterns[-1]
+    assert blackout.name == "blackout"
+    # Window patterns drop the inter-zone fabric; the anchor zone never crashes.
+    anchor = {p for p in system.processes if p not in blackout.crash_prone}
+    assert len(anchor) >= 2
+    for pattern in system.patterns[:-1]:
+        assert pattern.disconnect_prone
+        assert not (pattern.crash_prone & anchor)
+    result = discover_gqs(system)
+    assert result.exists
+    # The blackout's witness lives inside the anchor zone (a chain singleton).
+    assert result.choices[blackout].write_quorum <= anchor
+    assert len(result.choices[blackout].write_quorum) == 1
+
+
+def test_large_threshold_default_patterns_are_distinct():
+    """Regression: the zoned default used to rotate n windows over the smaller
+    non-anchor list, wrapping around and generating duplicate patterns."""
+    for kwargs in (
+        {"n": 12, "max_crashes": 2, "zones": 3},
+        {"n": 30, "max_crashes": 4, "zones": 3, "catastrophic": True},
+        {"n": 20, "max_crashes": 3},
+    ):
+        system = large_threshold_system(**kwargs)
+        assert len(set(system.patterns)) == len(system.patterns), kwargs
+
+
+def test_large_threshold_is_deterministic():
+    a = large_threshold_system(n=24, max_crashes=3, num_patterns=8, zones=4, catastrophic=True)
+    b = large_threshold_system(n=24, max_crashes=3, num_patterns=8, zones=4, catastrophic=True)
+    assert a.patterns == b.patterns
+    assert a.graph == b.graph
+
+
+def test_large_threshold_validation():
+    with pytest.raises(ValueError):
+        large_threshold_system(n=10, max_crashes=10)
+    with pytest.raises(ValueError):
+        large_threshold_system(n=10, max_crashes=1, zones=0)
+    with pytest.raises(ValueError):
+        large_threshold_system(n=10, max_crashes=1, zones=1, catastrophic=True)
+    with pytest.raises(ValueError):
+        large_threshold_system(n=5, max_crashes=1, zones=4)
+
+
+def test_multi_region_structure_and_gqs():
+    system = multi_region_system(
+        regions=3, replicas_per_region=3, primary_replicas=2, epochs=3
+    )
+    assert len(system.processes) == 2 + 2 * 3
+    assert len(system) == 4  # 3 WAN epochs + the blackout
+    blackout = system.patterns[-1]
+    assert blackout.name == "blackout"
+    primary = {p for p in system.processes if str(p).startswith("g0")}
+    # WAN epochs never crash the primary; the blackout crashes everything else.
+    for pattern in system.patterns[:-1]:
+        assert not (pattern.crash_prone & primary)
+        assert pattern.disconnect_prone
+    assert blackout.crash_prone == frozenset(system.processes) - primary
+    result = discover_gqs(system)
+    assert result.exists
+    for pattern in system.patterns:
+        assert result.choices[pattern].write_quorum <= primary
+
+
+def test_multi_region_without_blackout():
+    system = multi_region_system(
+        regions=3, replicas_per_region=2, epochs=2, catastrophic=False
+    )
+    assert len(system) == 2
+    assert gqs_exists(system)
+
+
+def test_multi_region_validation():
+    with pytest.raises(ValueError):
+        multi_region_system(regions=1)
+    with pytest.raises(ValueError):
+        multi_region_system(regions=3, replicas_per_region=1)
+    with pytest.raises(ValueError):
+        multi_region_system(regions=3, replicas_per_region=3, primary_replicas=1)
+    with pytest.raises(ValueError):
+        multi_region_system(regions=3, replicas_per_region=3, epochs=0)
+
+
+def test_new_families_are_registered_everywhere():
+    assert "large-threshold" in TOPOLOGY_KINDS
+    assert "multi-region" in TOPOLOGY_KINDS
+    assert len(builtin_fail_prone_system("large-threshold-30x4").processes) == 30
+    zoned = builtin_fail_prone_system("large-threshold-30x4x3")
+    assert zoned.patterns[-1].name == "blackout"
+    assert len(builtin_fail_prone_system("multiregion-4x3").processes) == 2 + 3 * 3

@@ -1,0 +1,141 @@
+"""Tests for the bitmask graph view (:mod:`repro.graph.bitset`).
+
+The bitmask layer must agree exactly with the set-based algorithms in
+:mod:`repro.graph.connectivity` — it is a faster representation, never a
+different semantics — so most tests here are differential over random graphs.
+"""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    BitsetDiGraph,
+    DiGraph,
+    ProcessIndex,
+    can_reach,
+    iter_bits,
+    mutually_reachable,
+    popcount,
+    reachable_from,
+    strongly_connected_components,
+)
+
+
+def _random_digraph(rng, n, edge_prob):
+    names = ["v{}".format(i) for i in range(n)]
+    graph = DiGraph(vertices=names)
+    for src in names:
+        for dst in names:
+            if src != dst and rng.random() < edge_prob:
+                graph.add_edge(src, dst)
+    return graph
+
+
+def test_iter_bits_and_popcount():
+    assert list(iter_bits(0)) == []
+    assert list(iter_bits(0b101001)) == [0, 3, 5]
+    assert popcount(0) == 0
+    assert popcount(0b101001) == 3
+
+
+def test_process_index_is_sorted_and_stable():
+    index = ProcessIndex(["c", "a", "b", "a"])
+    assert index.processes == ("a", "b", "c")
+    assert index.position("a") == 0
+    assert index.process_at(2) == "c"
+    assert index.mask_of(["a", "c"]) == 0b101
+    assert index.set_of(0b101) == frozenset({"a", "c"})
+    assert index.sorted_list(0b110) == ["b", "c"]
+    assert index.full_mask == 0b111
+    assert len(index) == 3
+    assert "a" in index and "z" not in index
+
+
+def test_from_digraph_round_trip():
+    graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")])
+    view = BitsetDiGraph.from_digraph(graph)
+    index = view.index
+    assert view.num_vertices() == 3
+    assert view.successor_mask(index.position("a")) == index.mask_of(["b", "c"])
+    assert view.predecessor_mask(index.position("c")) == index.mask_of(["a", "b"])
+
+
+def test_reachability_matches_set_based_algorithms():
+    rng = random.Random(5)
+    for _ in range(25):
+        graph = _random_digraph(rng, rng.randint(2, 9), rng.choice([0.1, 0.25, 0.5]))
+        view = BitsetDiGraph.from_digraph(graph)
+        index = view.index
+        for v in graph.vertices:
+            mask = index.mask_of([v])
+            assert index.set_of(view.reachable_mask(mask)) == reachable_from(graph, [v])
+            assert index.set_of(view.can_reach_mask(mask)) == can_reach(graph, [v])
+
+
+def test_scc_masks_match_tarjan_partition():
+    rng = random.Random(11)
+    for _ in range(25):
+        graph = _random_digraph(rng, rng.randint(2, 9), rng.choice([0.15, 0.3, 0.6]))
+        view = BitsetDiGraph.from_digraph(graph)
+        fast = {view.index.set_of(mask) for mask in view.scc_masks()}
+        slow = set(strongly_connected_components(graph))
+        assert fast == slow
+
+
+def test_scc_masks_order_is_canonical():
+    graph = DiGraph(edges=[("d", "c"), ("c", "d"), ("a", "b"), ("b", "a"), ("b", "c")])
+    view = BitsetDiGraph.from_digraph(graph)
+    components = [view.index.set_of(mask) for mask in view.scc_masks()]
+    # Ordered by lowest member in ProcessIndex (i.e. sorted) order.
+    assert components == [frozenset({"a", "b"}), frozenset({"c", "d"})]
+
+
+def test_mutually_reachable_matches_set_based():
+    rng = random.Random(3)
+    for _ in range(20):
+        graph = _random_digraph(rng, rng.randint(2, 7), 0.3)
+        view = BitsetDiGraph.from_digraph(graph)
+        index = view.index
+        for _ in range(5):
+            k = rng.randint(1, len(graph.vertices))
+            subset = rng.sample(graph.vertices, k)
+            assert view.mutually_reachable(index.mask_of(subset)) == mutually_reachable(
+                graph, subset
+            )
+
+
+def test_residual_matches_digraph_without():
+    rng = random.Random(7)
+    for _ in range(20):
+        graph = _random_digraph(rng, rng.randint(3, 8), 0.4)
+        view = BitsetDiGraph.from_digraph(graph)
+        vertices = graph.vertices
+        crashed = rng.sample(vertices, rng.randint(0, len(vertices) - 1))
+        survivors = [v for v in vertices if v not in crashed]
+        edges = [
+            (s, d)
+            for s in survivors
+            for d in survivors
+            if s != d and graph.has_edge(s, d) and rng.random() < 0.3
+        ]
+        residual_view = view.residual(crashed, edges)
+        residual_graph = graph.without(vertices=crashed, edges=edges)
+        index = view.index
+        assert index.set_of(residual_view.vertex_mask) == residual_graph.vertex_set
+        for v in residual_graph.vertices:
+            assert index.set_of(
+                residual_view.successor_mask(index.position(v))
+            ) == frozenset(residual_graph.successors(v))
+            assert index.set_of(
+                residual_view.predecessor_mask(index.position(v))
+            ) == frozenset(residual_graph.predecessors(v))
+
+
+def test_mutually_reachable_rejects_absent_vertices():
+    graph = DiGraph(edges=[("a", "b"), ("b", "a"), ("a", "c")])
+    view = BitsetDiGraph.from_digraph(graph)
+    index = view.index
+    residual = view.residual(["c"], [])
+    assert residual.mutually_reachable(index.mask_of(["a", "b"]))
+    assert not residual.mutually_reachable(index.mask_of(["a", "c"]))

@@ -28,11 +28,23 @@ def test_duplicate_edges_counted_once():
 
 def test_successors_and_predecessors():
     g = DiGraph(edges=[("a", "b"), ("a", "c"), ("c", "b")])
-    assert g.successors("a") == frozenset({"b", "c"})
-    assert g.predecessors("b") == frozenset({"a", "c"})
+    # Neighbour iteration is edge-insertion order, not hash order.
+    assert g.successors("a") == ("b", "c")
+    assert g.predecessors("b") == ("a", "c")
     assert g.out_degree("a") == 2
     assert g.in_degree("b") == 2
     assert g.out_degree("b") == 0
+
+
+def test_neighbour_order_is_edge_insertion_order():
+    g = DiGraph()
+    for dst in ("z", "m", "a", "q"):
+        g.add_edge("hub", dst)
+    assert g.successors("hub") == ("z", "m", "a", "q")
+    g.remove_edge("hub", "m")
+    g.add_edge("hub", "m")
+    assert g.successors("hub") == ("z", "a", "q", "m")
+    assert g.predecessors("m") == ("hub",)
 
 
 def test_remove_vertex_removes_incident_edges():

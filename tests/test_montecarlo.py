@@ -78,6 +78,63 @@ def test_sample_asymmetric_partition_system_shape():
     assert all(f.disconnect_prone for f in system)
 
 
+def test_sample_pattern_always_leaves_a_survivor():
+    from repro.montecarlo.reliability import _sample_pattern
+
+    processes = ["a", "b", "c", "d"]
+    rng = random.Random(0)
+    for _ in range(200):
+        pattern = _sample_pattern(processes, rng, crash_prob=1.0, disconnect_prob=0.0)
+        assert len(pattern.crash_prone) == len(processes) - 1
+
+
+def test_sample_pattern_survivor_is_uniform_not_positional():
+    """Regression: the all-crashed adjustment used to revive the *last* process
+    in iteration order, so at crash_prob=1.0 one fixed process survived every
+    single sample.  The adjustment must instead pick the survivor uniformly."""
+    from repro.montecarlo.reliability import _sample_pattern
+
+    processes = ["a", "b", "c", "d", "e"]
+    rng = random.Random(123)
+    samples = 1000
+    survivor_counts = {p: 0 for p in processes}
+    for _ in range(samples):
+        pattern = _sample_pattern(processes, rng, crash_prob=1.0, disconnect_prob=0.0)
+        (survivor,) = [p for p in processes if p not in pattern.crash_prone]
+        survivor_counts[survivor] += 1
+    expected = samples / len(processes)
+    for process, count in survivor_counts.items():
+        # Loose 3-sigma-ish band around the uniform expectation; the old
+        # behaviour put all 1000 samples on one process.
+        assert 0.6 * expected <= count <= 1.4 * expected, survivor_counts
+
+
+def test_sample_pattern_non_degenerate_stream_unchanged():
+    """The uniform-survivor fix draws extra randomness only in the all-crashed
+    branch: with moderate crash probabilities the sampled patterns match the
+    plain i.i.d. process."""
+    from repro.montecarlo.reliability import _sample_pattern
+
+    processes = ["a", "b", "c", "d"]
+    # Seed 0 never draws the all-crashed branch in 50 samples, so the two
+    # streams must stay in lockstep throughout.
+    rng_a = random.Random(0)
+    rng_b = random.Random(0)
+    for _ in range(50):
+        pattern = _sample_pattern(processes, rng_a, crash_prob=0.3, disconnect_prob=0.2)
+        crashed = [p for p in processes if rng_b.random() < 0.3]
+        survivors = [p for p in processes if p not in crashed]
+        channels = frozenset(
+            (src, dst)
+            for src in survivors
+            for dst in survivors
+            if src != dst and rng_b.random() < 0.2
+        )
+        assert len(crashed) < len(processes)
+        assert pattern.crash_prone == frozenset(crashed)
+        assert pattern.disconnect_prone == channels
+
+
 def test_reliability_estimates_ordering(figure1_gqs):
     estimate = estimate_reliability(figure1_gqs, crash_prob=0.1, disconnect_prob=0.3, samples=80, seed=6)
     assert 0.0 <= estimate.gqs_availability <= estimate.classical_availability <= 1.0

@@ -41,6 +41,8 @@ EXPECTED_NAMES = [
     "partial-synchrony-stress",
     "heavy-contention-register",
     "lattice-fan-in",
+    "zoned-threshold",
+    "multi-region-blackout",
     "paxos-baseline",
 ]
 
