@@ -1,16 +1,32 @@
 """Setuptools packaging for the ``repro`` library.
 
-``pip install -e .`` makes ``import repro`` and ``python -m repro`` work
-without the ``PYTHONPATH=src`` workaround; the package layout is the standard
-src-layout, declared explicitly below so offline/legacy editable installs keep
-working too.
+``pip install -e .`` makes ``import repro``, ``python -m repro`` and the
+``repro`` console script work without the ``PYTHONPATH=src`` workaround; the
+package layout is the standard src-layout, declared explicitly below so
+offline/legacy editable installs keep working too.
+
+The version is single-sourced from ``repro.__version__`` (parsed textually so
+building a wheel never imports the package).
 """
+
+import os
+import re
 
 from setuptools import find_packages, setup
 
+
+def read_version() -> str:
+    path = os.path.join(os.path.dirname(__file__), "src", "repro", "__init__.py")
+    with open(path, "r", encoding="utf-8") as handle:
+        match = re.search(r'^__version__ = "([^"]+)"', handle.read(), re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
 setup(
     name="repro-gqs",
-    version="1.0.0",
+    version=read_version(),
     description=(
         "Reproduction of 'Generalized Quorum Systems' (PODC 2025): failure "
         "model, GQS decision procedure, protocol simulation, and parallel "
@@ -19,4 +35,5 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.8",
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
 )

@@ -22,7 +22,12 @@ everything the PODC 2025 paper describes:
   JSON-serializable spec (:mod:`repro.scenarios`);
 * a JSONL trace store and parallel replay-verification — record every run's
   history and safety evidence, re-check it later with any checker and any
-  worker count (:mod:`repro.traces`).
+  worker count (:mod:`repro.traces`);
+* a central typed extension registry with plugin loading — protocols,
+  topologies, delay models, checkers and scenarios all plug in without core
+  edits (:mod:`repro.registry`) — and a high-level facade exposing one typed
+  function per workflow (:mod:`repro.api`), which the thin CLI
+  (:mod:`repro.cli`) prints.
 
 Quickstart::
 
@@ -33,7 +38,10 @@ Quickstart::
     print(result.quorum_system.describe())
 """
 
-from . import (
+__version__ = "1.0.0"
+
+from . import registry  # noqa: E402 - the extension registry underpins every subsystem
+from . import (  # noqa: E402
     analysis,
     checkers,
     engine,
@@ -48,6 +56,7 @@ from . import (
     sim,
     traces,
 )
+from . import api  # noqa: E402 - the facade builds on every subsystem above
 from .errors import (
     InvalidFailurePatternError,
     InvalidQuorumSystemError,
@@ -57,8 +66,6 @@ from .errors import (
 from .failures import FailProneSystem, FailurePattern
 from .history import History, OperationRecord
 from .quorums import GeneralizedQuorumSystem, QuorumSystem, discover_gqs, find_gqs, gqs_exists
-
-__version__ = "1.0.0"
 
 __all__ = [
     "FailProneSystem",
@@ -73,8 +80,10 @@ __all__ = [
     "ReproError",
     "__version__",
     "analysis",
+    "api",
     "checkers",
     "discover_gqs",
+    "engine",
     "experiments",
     "failures",
     "find_gqs",
@@ -83,7 +92,9 @@ __all__ = [
     "montecarlo",
     "protocols",
     "quorums",
+    "registry",
     "scenarios",
     "serialization",
     "sim",
+    "traces",
 ]

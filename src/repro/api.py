@@ -1,0 +1,580 @@
+"""High-level typed facade over the library: one call per workflow.
+
+Every workflow the CLI (or a notebook, or a service) needs is a single
+function here, returning a typed result object — the CLI in :mod:`repro.cli`
+is nothing but argument parsing plus printing on top of this module:
+
+* :func:`resolve_system` — a fail-prone system from a JSON file or a
+  ``--builtin`` name (both resolved through the topology registry);
+* :func:`discover` / :func:`discovery_report` — the GQS decision procedure
+  (Theorem 2), raw or wrapped with the per-pattern witness rows;
+* :func:`classify` — which quorum conditions the system admits;
+* :func:`repair` — minimal channel hardenings restoring tolerability;
+* :func:`simulate` — seeded protocol runs (single or engine-fanned batches)
+  with safety verdicts and optional trace recording;
+* :func:`run_scenario` / :func:`sweep_scenarios` — the declarative scenario
+  catalogue, by name or spec;
+* :func:`sweep` — the Monte Carlo admissibility/reliability studies;
+* :func:`check_traces` — parallel re-verification of recorded traces;
+* :func:`run_examples` — the paper's worked examples.
+
+All of it dispatches through :mod:`repro.registry`, so plugin-registered
+protocols, topologies, delay models, checkers and scenarios work in every
+facade call without any core change.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from .analysis import (
+    ExampleOutcome,
+    figure1_quorum_system,
+    run_all_examples,
+)
+from .analysis.metrics import ResultTable
+from .engine import ParallelRunner, ProgressCallback, spawn_seeds
+from .errors import NoQuorumSystemExistsError, ReproError
+from .experiments import run_workload, safety_report
+from .failures import FailProneSystem, FailurePattern, builtin_fail_prone_system
+from .montecarlo import (
+    AdmissibilityPoint,
+    ReliabilityEstimate,
+    admissibility_sweep,
+    admissibility_table,
+    reliability_sweep,
+    reliability_table,
+)
+from .quorums import (
+    DiscoveryResult,
+    GeneralizedQuorumSystem,
+    RepairReport,
+    classify_fail_prone_system,
+    discover_gqs,
+    suggest_channel_repairs,
+)
+from .registry import CHECKERS, PROTOCOLS, loaded_plugins, plugin_contributions
+from .scenarios import (
+    ScenarioRunResult,
+    ScenarioSpec,
+    get_scenario,
+)
+from .scenarios import run_scenario as _run_scenario_spec
+from .scenarios import sweep_scenarios as _sweep_scenario_specs
+from .serialization import load_fail_prone_system
+from .traces import TraceCheckReport
+from .traces import check_traces as _check_trace_directory
+from .traces import write_run_trace
+from .types import sorted_channels, sorted_processes
+
+__all__ = [
+    "ClassifyReport",
+    "DiscoveryReport",
+    "MonteCarloSweep",
+    "RepairOutcome",
+    "SimulateReport",
+    "check_traces",
+    "classify",
+    "discover",
+    "discovery_report",
+    "plugin_rows",
+    "protocol_safety_label",
+    "repair",
+    "resolve_system",
+    "run_examples",
+    "run_scenario",
+    "simulate",
+    "sweep",
+    "sweep_scenarios",
+]
+
+
+# ---------------------------------------------------------------------- #
+# System resolution
+# ---------------------------------------------------------------------- #
+def resolve_system(spec: Optional[str] = None, builtin: str = "figure1") -> FailProneSystem:
+    """A fail-prone system from a JSON file path or a built-in name.
+
+    ``spec`` (a path) wins when given; otherwise ``builtin`` is resolved
+    through the topology registry's ``--builtin`` matchers, so plugin
+    topologies are addressable by name too.
+    """
+    if spec is not None:
+        return load_fail_prone_system(spec)
+    return builtin_fail_prone_system(builtin)
+
+
+def _system_summary(system: FailProneSystem) -> Dict[str, Any]:
+    return {
+        "name": system.name,
+        "num_processes": len(system.processes),
+        "num_patterns": len(system.patterns),
+        "processes": sorted_processes(system.processes),
+    }
+
+
+def _pattern_label(pattern: FailurePattern, position: int) -> str:
+    """Stable display label for a pattern: its name, or its position."""
+    return pattern.name if pattern.name is not None else "pattern-{}".format(position)
+
+
+# ---------------------------------------------------------------------- #
+# Quorum-decision toolbox
+# ---------------------------------------------------------------------- #
+def discover(
+    system: FailProneSystem, algorithm: str = "pruned", validate: bool = True
+) -> DiscoveryResult:
+    """Run the GQS decision procedure (Theorem 2) on ``system``."""
+    return discover_gqs(system, validate=validate, algorithm=algorithm)
+
+
+@dataclass
+class DiscoveryReport:
+    """A :class:`DiscoveryResult` paired with its per-pattern witness rows."""
+
+    system: FailProneSystem
+    result: DiscoveryResult
+
+    @property
+    def exists(self) -> bool:
+        return self.result.exists
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """One row per failure pattern: candidates plus the chosen quorums."""
+        rows = []
+        for position, pattern in enumerate(self.system.patterns):
+            chosen = self.result.choices.get(pattern)
+            rows.append(
+                {
+                    "pattern": _pattern_label(pattern, position),
+                    "candidates": self.result.candidates_per_pattern.get(pattern, 0),
+                    "read_quorum": sorted_processes(chosen.read_quorum) if chosen else None,
+                    "write_quorum": sorted_processes(chosen.write_quorum) if chosen else None,
+                }
+            )
+        return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical JSON payload (byte-identical across hash seeds)."""
+        return {
+            "system": _system_summary(self.system),
+            "algorithm": self.result.algorithm,
+            "exists": self.result.exists,
+            "nodes_explored": self.result.nodes_explored,
+            "patterns": self.rows,
+        }
+
+
+def discovery_report(
+    system: FailProneSystem, algorithm: str = "pruned", validate: bool = False
+) -> DiscoveryReport:
+    """:func:`discover` wrapped with the witness rows the CLI renders."""
+    return DiscoveryReport(system, discover_gqs(system, validate=validate, algorithm=algorithm))
+
+
+@dataclass
+class ClassifyReport:
+    """Which quorum conditions (classical / QS+ / generalized) a system admits."""
+
+    system: FailProneSystem
+    admits: Dict[str, bool]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"system": _system_summary(self.system), "admits": dict(self.admits)}
+
+
+def classify(system: FailProneSystem) -> ClassifyReport:
+    """Classify ``system`` against the paper's three quorum conditions."""
+    return ClassifyReport(system, classify_fail_prone_system(system))
+
+
+@dataclass
+class RepairOutcome:
+    """A channel-repair search result with its display/JSON projections."""
+
+    system: FailProneSystem
+    report: RepairReport
+
+    @property
+    def suggestions(self) -> List[List[List[str]]]:
+        """Suggested channel sets as sorted, JSON-friendly nested lists."""
+        return [
+            [list(channel) for channel in sorted_channels(s.channels)]
+            for s in self.report.suggestions
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "system": _system_summary(self.system),
+            "already_tolerable": self.report.already_tolerable,
+            "repairable": self.report.repairable,
+            "max_channels": self.report.max_channels,
+            "candidates_considered": self.report.candidates_considered,
+            "candidates_reused": self.report.candidates_reused,
+            "suggestions": self.suggestions,
+        }
+
+
+def repair(
+    system: FailProneSystem,
+    max_channels: int = 2,
+    max_suggestions: Optional[int] = None,
+) -> RepairOutcome:
+    """Search for minimal channel hardenings that make ``system`` tolerable."""
+    report = suggest_channel_repairs(
+        system, max_channels=max_channels, max_suggestions=max_suggestions
+    )
+    return RepairOutcome(system, report)
+
+
+# ---------------------------------------------------------------------- #
+# Protocol simulation
+# ---------------------------------------------------------------------- #
+def protocol_safety_label(kind: str, verdict: bool) -> str:
+    """The human-readable safety verdict line for one protocol kind."""
+    descriptor = PROTOCOLS.get(kind)
+    label = descriptor.extras.get("safety_label")
+    if label is None:
+        return "safe={}".format(verdict)
+    return label(verdict)
+
+
+def _simulate_once(
+    gqs: GeneralizedQuorumSystem,
+    protocol: str,
+    pattern: Optional[FailurePattern],
+    ops: int,
+    seed: int,
+    run_index: int = 0,
+    root_seed: int = 0,
+    record_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one seeded protocol simulation; returns a picklable summary.
+
+    Module-level so ``simulate(runs=N, jobs=M)`` can fan seeded repetitions
+    out across worker processes; with ``record_dir`` the run's trace is
+    persisted for later ``repro check`` re-verification.
+    """
+    repeat_ops = PROTOCOLS.get(protocol).extras.get("repeat_ops", False)
+    ops_per_process = ops if repeat_ops else 1
+    run = run_workload(protocol, gqs, pattern=pattern, ops_per_process=ops_per_process, seed=seed)
+    safety = safety_report(protocol, gqs, pattern, run)
+    outcome = {
+        "completed": run.completed,
+        "verdict": safety["safe"],
+        "invokers": run.extra.get("invokers"),
+        "mean_latency": run.metrics.mean_latency,
+        "max_latency": run.metrics.max_latency,
+        "messages_sent": run.metrics.messages_sent,
+    }
+    if record_dir is not None:
+        write_run_trace(
+            record_dir,
+            name="simulate-{}".format(protocol),
+            protocol=protocol,
+            root_seed=root_seed,
+            run_index=run_index,
+            seed=seed,
+            history=run.history,
+            verdict={
+                "completed": run.completed,
+                "safe": safety["safe"],
+                "checker": safety["checker"],
+                "explored_states": safety["explored_states"],
+                "operations": run.metrics.operations,
+                "mean_latency": run.metrics.mean_latency,
+                "max_latency": run.metrics.max_latency,
+                "messages": run.metrics.messages_sent,
+            },
+            quorum_system=gqs,
+            pattern=pattern,
+            delay={"kind": "workload-default", "params": {}, "seed": seed},
+        )
+    return outcome
+
+
+def _simulate_indexed(gqs, protocol, pattern, ops, record_dir, root_seed, item):
+    """Trampoline for the runs>1 fan-out: ``item`` is ``(run_index, seed)``."""
+    run_index, seed = item
+    return _simulate_once(
+        gqs, protocol, pattern, ops, seed,
+        run_index=run_index, root_seed=root_seed, record_dir=record_dir,
+    )
+
+
+@dataclass
+class SimulateReport:
+    """The aggregate of one ``simulate`` call (single run or a seeded batch)."""
+
+    protocol: str
+    pattern: Optional[str]
+    runs: int
+    root_seed: int
+    jobs: int
+    outcomes: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def completed_runs(self) -> int:
+        return sum(1 for o in self.outcomes if o["completed"])
+
+    @property
+    def safe_runs(self) -> int:
+        return sum(1 for o in self.outcomes if o["verdict"])
+
+    @property
+    def all_completed(self) -> bool:
+        return self.completed_runs == self.runs
+
+    @property
+    def all_safe(self) -> bool:
+        return self.safe_runs == self.runs
+
+    @property
+    def mean_latency(self) -> float:
+        """Average of the per-run mean latencies."""
+        return sum(o["mean_latency"] for o in self.outcomes) / self.runs
+
+    @property
+    def max_latency(self) -> float:
+        return max(o["max_latency"] for o in self.outcomes)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(o["messages_sent"] for o in self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        return self.all_completed and self.all_safe
+
+    @property
+    def gates_on_safety(self) -> bool:
+        """Whether a failed verdict should fail the invocation.
+
+        Protocols tagged ``no-safety-claim`` (the Paxos baseline) report their
+        verdict but never gate on it.
+        """
+        return not PROTOCOLS.get(self.protocol).has_tag("no-safety-claim")
+
+    @property
+    def exit_ok(self) -> bool:
+        return self.ok or not self.gates_on_safety
+
+    def safety_label(self, verdict: bool) -> str:
+        return protocol_safety_label(self.protocol, verdict)
+
+
+def simulate(
+    system: FailProneSystem,
+    protocol: str = "register",
+    pattern: Optional[str] = None,
+    ops: int = 2,
+    seed: int = 0,
+    runs: int = 1,
+    jobs: int = 1,
+    record_traces: Optional[str] = None,
+) -> SimulateReport:
+    """Run a registered protocol on the simulated network under a failure pattern.
+
+    The GQS the protocol runs over is discovered from ``system`` first; a
+    system admitting none raises :class:`NoQuorumSystemExistsError`.  With
+    ``runs > 1`` the seeded repetitions are spawned deterministically from
+    ``seed`` and fanned out over ``jobs`` workers — the aggregate depends only
+    on ``(seed, runs)``, never on the job count.
+    """
+    PROTOCOLS.get(protocol)  # fail fast (rich error) on an unknown protocol
+    result = discover_gqs(system)
+    if not result.exists or result.quorum_system is None:
+        raise NoQuorumSystemExistsError(
+            "the fail-prone system admits no generalized quorum system; nothing to simulate"
+        )
+    gqs = result.quorum_system
+
+    failure = None
+    if pattern is not None:
+        matches = [f for f in system.patterns if f.name == pattern]
+        if not matches:
+            raise ReproError(
+                "unknown pattern {!r}; available: {}".format(
+                    pattern, [f.name for f in system.patterns]
+                )
+            )
+        failure = matches[0]
+
+    runs = max(1, runs)
+    if runs == 1:
+        outcomes = [
+            _simulate_once(
+                gqs, protocol, failure, ops, seed, root_seed=seed, record_dir=record_traces
+            )
+        ]
+        return SimulateReport(
+            protocol=protocol, pattern=pattern, runs=1, root_seed=seed, jobs=1,
+            outcomes=outcomes,
+        )
+
+    seeds = spawn_seeds(seed, runs, "simulate", protocol)
+    runner = ParallelRunner(jobs=jobs)
+    task = functools.partial(
+        _simulate_indexed, gqs, protocol, failure, ops, record_traces, seed
+    )
+    outcomes = runner.map(task, list(enumerate(seeds)))
+    return SimulateReport(
+        protocol=protocol, pattern=pattern, runs=runs, root_seed=seed, jobs=runner.jobs,
+        outcomes=outcomes,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Scenarios
+# ---------------------------------------------------------------------- #
+def run_scenario(
+    scenario: Union[str, ScenarioSpec],
+    runs: Optional[int] = None,
+    seed: int = 0,
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+    record_traces: Optional[str] = None,
+) -> ScenarioRunResult:
+    """Run one scenario's seeded batch through the engine.
+
+    ``scenario`` is a registered name (resolved through the scenario registry,
+    with did-you-mean errors) or a :class:`ScenarioSpec` instance.
+    """
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    return _run_scenario_spec(
+        spec, runs=runs, seed=seed, jobs=jobs, progress=progress, record_traces=record_traces
+    )
+
+
+def sweep_scenarios(
+    names: Optional[Sequence[str]] = None,
+    runs: Optional[int] = None,
+    seed: int = 0,
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+    record_traces: Optional[str] = None,
+) -> List[ScenarioRunResult]:
+    """Run several scenarios (default: the whole catalogue) over one worker pool."""
+    return _sweep_scenario_specs(
+        names, runs=runs, seed=seed, jobs=jobs, progress=progress, record_traces=record_traces
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Monte Carlo studies
+# ---------------------------------------------------------------------- #
+@dataclass
+class MonteCarloSweep:
+    """The outcome of the Monte Carlo studies ``repro sweep`` runs."""
+
+    admissibility: Optional[List[AdmissibilityPoint]] = None
+    reliability: Optional[List[ReliabilityEstimate]] = None
+
+    def admissibility_text(self) -> str:
+        return str(admissibility_table(self.admissibility or []))
+
+    def reliability_text(self) -> str:
+        return str(reliability_table(self.reliability or []))
+
+
+def sweep(
+    kind: str = "all",
+    probs: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.5),
+    n: int = 5,
+    patterns: int = 3,
+    samples: int = 40,
+    seed: int = 0,
+    jobs: int = 1,
+    progress_factory: Optional[Callable[[str], ProgressCallback]] = None,
+) -> MonteCarloSweep:
+    """Run the Monte Carlo studies: quorum-condition admissibility and/or the
+    availability of the Figure 1 quorums.
+
+    ``kind`` is ``"admissibility"``, ``"reliability"`` or ``"all"``;
+    ``progress_factory(label)`` supplies an optional per-study progress
+    callback.  Results depend only on ``seed``, never on ``jobs``.
+    """
+    if kind not in ("admissibility", "reliability", "all"):
+        raise ReproError(
+            "unknown sweep kind {!r}; expected one of {}".format(
+                kind, ["admissibility", "all", "reliability"]
+            )
+        )
+    outcome = MonteCarloSweep()
+    if kind in ("admissibility", "all"):
+        outcome.admissibility = admissibility_sweep(
+            disconnect_probs=tuple(probs),
+            n=n,
+            num_patterns=patterns,
+            samples=samples,
+            seed=seed,
+            jobs=jobs,
+            progress=progress_factory("admissibility") if progress_factory else None,
+        )
+    if kind in ("reliability", "all"):
+        outcome.reliability = reliability_sweep(
+            figure1_quorum_system(),
+            disconnect_probs=tuple(probs),
+            samples=samples,
+            seed=seed,
+            jobs=jobs,
+            progress=progress_factory("reliability") if progress_factory else None,
+        )
+    return outcome
+
+
+# ---------------------------------------------------------------------- #
+# Trace re-verification and examples
+# ---------------------------------------------------------------------- #
+def check_traces(
+    directory: str,
+    checker: str = "auto",
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> TraceCheckReport:
+    """Re-verify every recorded trace in ``directory`` (see :mod:`repro.traces`)."""
+    CHECKERS.get(checker)  # rich unknown-checker error before touching the disk
+    return _check_trace_directory(directory, checker=checker, jobs=jobs, progress=progress)
+
+
+def run_examples() -> List[ExampleOutcome]:
+    """Replay the paper's worked examples (Examples 4-9)."""
+    return run_all_examples()
+
+
+# ---------------------------------------------------------------------- #
+# Plugin introspection (``repro plugins list``)
+# ---------------------------------------------------------------------- #
+def plugin_rows() -> List[Dict[str, str]]:
+    """One row per plugin-contributed descriptor, in load then registry order."""
+    rows = []
+    for module in loaded_plugins():
+        contributions = plugin_contributions(module)
+        for descriptor in contributions:
+            rows.append(
+                {
+                    "plugin": module,
+                    "kind": descriptor.kind,
+                    "name": descriptor.name,
+                    "description": descriptor.doc,
+                }
+            )
+        if not contributions:
+            rows.append(
+                {"plugin": module, "kind": "-", "name": "-", "description": "(no registrations)"}
+            )
+    return rows
+
+
+def plugin_table() -> ResultTable:
+    """The ``repro plugins list`` table."""
+    table = ResultTable(
+        title="loaded plugins: {}".format(len(loaded_plugins())),
+        columns=("plugin", "kind", "name", "description"),
+    )
+    for row in plugin_rows():
+        table.add_row(**row)
+    return table

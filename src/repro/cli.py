@@ -1,6 +1,13 @@
-"""Command-line interface: ``python -m repro <command> ...``.
+"""Command-line interface: ``repro <command> ...`` (or ``python -m repro``).
 
-Six commands cover the workflows a practitioner needs:
+The CLI is a thin argparse shell over the typed facade :mod:`repro.api`:
+every command resolves its arguments, calls one facade function, and prints
+the returned result object.  Subcommand choices, the scenario catalogue and
+the plugin tables are generated from the extension registries
+(:mod:`repro.registry`), so plugin-registered protocols, topologies, delay
+models, checkers and scenarios are first-class citizens of every command.
+
+Seven commands cover the workflows a practitioner needs:
 
 ``quorums``
     The quorum-decision toolbox: ``discover`` runs the GQS decision procedure
@@ -24,9 +31,10 @@ Six commands cover the workflows a practitioner needs:
     recorded inline one.
 
 ``simulate``
-    Run one of the paper's protocols (register, snapshot, lattice agreement,
-    consensus, or the classical Paxos baseline) on the simulated network under
-    a chosen failure pattern and print metrics plus the safety-check verdict.
+    Run a registered protocol (register, snapshot, lattice agreement,
+    consensus, the classical Paxos baseline, or any plugin protocol) on the
+    simulated network under a chosen failure pattern and print metrics plus
+    the safety-check verdict.
 
 ``sweep``
     Run the Monte Carlo studies (admissibility of quorum conditions,
@@ -41,15 +49,20 @@ Six commands cover the workflows a practitioner needs:
     ``sweep`` many scenarios over one worker pool — all with table or JSON
     output, and all jobs-independent like ``sweep``.
 
+``plugins``
+    Inspect the plugin loader: ``list`` the modules loaded via ``--plugin``
+    or ``REPRO_PLUGINS`` and the extensions each registered.
+
 ``examples``
     Replay the paper's worked examples (Examples 4-9) and report which hold.
 
-Built-in fail-prone systems: ``figure1``, ``figure1-modified``,
-``ring-<n>`` (e.g. ``ring-5``), ``geo-<sites>x<replicas>`` (e.g. ``geo-3x2``),
-``minority-<n>`` (crash-only threshold), ``adversarial-<n>`` (one-way splits),
+Built-in fail-prone systems come from the topology registry's ``--builtin``
+matchers: ``figure1``, ``figure1-modified``, ``ring-<n>`` (e.g. ``ring-5``),
+``geo-<sites>x<replicas>`` (e.g. ``geo-3x2``), ``minority-<n>`` (crash-only
+threshold), ``adversarial-<n>`` (one-way splits),
 ``large-threshold-<n>x<k>[x<zones>]`` (rotating crash windows, optionally
 zoned with a catastrophic blackout) and ``multiregion-<regions>x<replicas>``
-(WAN-epoch islands plus a blackout).
+(WAN-epoch islands plus a blackout) — plus any plugin-registered forms.
 """
 
 from __future__ import annotations
@@ -57,32 +70,24 @@ from __future__ import annotations
 import argparse
 import functools
 import json
+import os
 import sys
-from typing import Any, Dict, List, Optional
+from typing import List, Optional
 
-from .analysis import ResultTable, run_all_examples
-from .engine import ParallelRunner, spawn_seeds
-from .errors import ReproError
-from .experiments import run_workload, safety_report
-from .failures import FailProneSystem, builtin_fail_prone_system
-from .montecarlo import admissibility_sweep, admissibility_table, reliability_sweep, reliability_table
-from .quorums import (
-    DISCOVERY_ALGORITHMS,
-    classify_fail_prone_system,
-    discover_gqs,
-    suggest_channel_repairs,
+from . import __version__, api
+from .analysis import ResultTable
+from .errors import NoQuorumSystemExistsError, ReproError
+from .quorums import DISCOVERY_ALGORITHMS
+from .registry import (
+    CHECKERS,
+    PLUGINS_ENV_VAR,
+    PROTOCOLS,
+    load_env_plugins,
+    load_plugin,
+    loaded_plugins,
+    plugin_contributions,
 )
-from .scenarios import (
-    catalogue_markdown,
-    catalogue_table,
-    get_scenario,
-    run_scenario,
-    scenario_names,
-    sweep_scenarios,
-    sweep_table,
-)
-from .serialization import load_fail_prone_system
-from .traces import check_traces, write_run_trace
+from .scenarios import catalogue_markdown, catalogue_table, get_scenario, scenario_names, sweep_table
 
 
 def _jobs_value(text: str) -> int:
@@ -111,10 +116,8 @@ def _runs_value(text: str) -> int:
     return value
 
 
-def _resolve_system(args: argparse.Namespace) -> FailProneSystem:
-    if args.spec is not None:
-        return load_fail_prone_system(args.spec)
-    return builtin_fail_prone_system(args.builtin)
+def _resolve_system(args: argparse.Namespace):
+    return api.resolve_system(spec=args.spec, builtin=args.builtin)
 
 
 def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
@@ -127,12 +130,20 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _stderr_progress(label: str, done: int, total: int) -> None:
+    """Chunked shard-progress line for long sweeps (stderr, overwritten in place)."""
+    sys.stderr.write("\r{}: {}/{} shards".format(label, done, total))
+    if done >= total:
+        sys.stderr.write("\n")
+    sys.stderr.flush()
+
+
 # ---------------------------------------------------------------------- #
 # check
 # ---------------------------------------------------------------------- #
 def _cmd_check_traces(args: argparse.Namespace) -> int:
     """``repro check DIR``: parallel re-verification of recorded traces."""
-    report = check_traces(
+    report = api.check_traces(
         args.target,
         checker=args.checker,
         jobs=args.jobs,
@@ -161,20 +172,19 @@ def cmd_check(args: argparse.Namespace) -> int:
     system = _resolve_system(args)
     print(system.describe())
     print()
-    result = discover_gqs(system)
+    result = api.discover(system)
     if not result.exists or result.quorum_system is None:
         print("NO generalized quorum system exists: by Theorem 2 the failure assumptions")
         print("cannot be tolerated by any register/snapshot/lattice-agreement/consensus")
         print("implementation (with any non-trivial liveness).")
         if args.suggest_repairs:
-            from .quorums import suggest_channel_repairs
             from .types import sorted_channels
 
-            report = suggest_channel_repairs(system, max_channels=args.max_repair_channels)
-            if report.suggestions:
+            outcome = api.repair(system, max_channels=args.max_repair_channels)
+            if outcome.report.suggestions:
                 print()
                 print("Hardening any of the following channel sets would make the system tolerable:")
-                for suggestion in report.suggestions:
+                for suggestion in outcome.report.suggestions:
                     print("  -", sorted_channels(suggestion.channels))
             else:
                 print()
@@ -191,63 +201,26 @@ def cmd_check(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------- #
 # quorums
 # ---------------------------------------------------------------------- #
-def _pattern_label(pattern, position: int) -> str:
-    """Stable display label for a pattern: its name, or its position."""
-    return pattern.name if pattern.name is not None else "pattern-{}".format(position)
-
-
-def _system_summary(system: FailProneSystem) -> Dict[str, Any]:
-    from .types import sorted_processes
-
-    return {
-        "name": system.name,
-        "num_processes": len(system.processes),
-        "num_patterns": len(system.patterns),
-        "processes": sorted_processes(system.processes),
-    }
-
-
 def cmd_quorums_discover(args: argparse.Namespace) -> int:
-    from .types import sorted_processes
-
-    system = _resolve_system(args)
-    result = discover_gqs(system, validate=False, algorithm=args.algorithm)
-    rows = []
-    for position, pattern in enumerate(system.patterns):
-        chosen = result.choices.get(pattern)
-        rows.append(
-            {
-                "pattern": _pattern_label(pattern, position),
-                "candidates": result.candidates_per_pattern.get(pattern, 0),
-                "read_quorum": sorted_processes(chosen.read_quorum) if chosen else None,
-                "write_quorum": sorted_processes(chosen.write_quorum) if chosen else None,
-            }
-        )
+    report = api.discovery_report(_resolve_system(args), algorithm=args.algorithm)
     if args.format == "json":
-        payload = {
-            "system": _system_summary(system),
-            "algorithm": result.algorithm,
-            "exists": result.exists,
-            "nodes_explored": result.nodes_explored,
-            "patterns": rows,
-        }
-        print(json.dumps(payload, indent=2, sort_keys=True))
-        return 0 if result.exists else 2
-    print(system.describe())
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.exists else 2
+    print(report.system.describe())
     print()
-    if not result.exists:
+    if not report.exists:
         print("NO generalized quorum system exists: by Theorem 2 the failure assumptions")
         print("cannot be tolerated by any register/snapshot/lattice-agreement/consensus")
         print("implementation (with any non-trivial liveness).")
         print()
-        print("algorithm         :", result.algorithm)
-        print("nodes explored    :", result.nodes_explored)
+        print("algorithm         :", report.result.algorithm)
+        print("nodes explored    :", report.result.nodes_explored)
         return 2
     table = ResultTable(
         title="GQS witness (one candidate per failure pattern)",
         columns=["pattern", "candidates", "read quorum", "write quorum"],
     )
-    for row in rows:
+    for row in report.rows:
         table.add_row(
             **{
                 "pattern": row["pattern"],
@@ -259,49 +232,35 @@ def cmd_quorums_discover(args: argparse.Namespace) -> int:
     print(table.to_text())
     print()
     print("GQS exists        : True")
-    print("algorithm         :", result.algorithm)
-    print("nodes explored    :", result.nodes_explored)
+    print("algorithm         :", report.result.algorithm)
+    print("nodes explored    :", report.result.nodes_explored)
     return 0
 
 
 def cmd_quorums_classify(args: argparse.Namespace) -> int:
-    system = _resolve_system(args)
-    verdict = classify_fail_prone_system(system)
+    report = api.classify(_resolve_system(args))
     if args.format == "json":
-        payload = {"system": _system_summary(system), "admits": verdict}
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
         return 0
-    print(system.describe())
+    print(report.system.describe())
     print()
-    print("classical quorum system (Definition 1) :", verdict["classical"])
-    print("strongly connected QS+ (Section 1)     :", verdict["strong"])
-    print("generalized quorum system (Definition 2):", verdict["generalized"])
+    print("classical quorum system (Definition 1) :", report.admits["classical"])
+    print("strongly connected QS+ (Section 1)     :", report.admits["strong"])
+    print("generalized quorum system (Definition 2):", report.admits["generalized"])
     return 0
 
 
 def cmd_quorums_repair(args: argparse.Namespace) -> int:
-    from .types import sorted_channels
-
-    system = _resolve_system(args)
-    report = suggest_channel_repairs(
-        system, max_channels=args.max_channels, max_suggestions=args.max_suggestions
+    outcome = api.repair(
+        _resolve_system(args),
+        max_channels=args.max_channels,
+        max_suggestions=args.max_suggestions,
     )
-    suggestions = [
-        [list(channel) for channel in sorted_channels(s.channels)] for s in report.suggestions
-    ]
+    report = outcome.report
     if args.format == "json":
-        payload = {
-            "system": _system_summary(system),
-            "already_tolerable": report.already_tolerable,
-            "repairable": report.repairable,
-            "max_channels": report.max_channels,
-            "candidates_considered": report.candidates_considered,
-            "candidates_reused": report.candidates_reused,
-            "suggestions": suggestions,
-        }
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
         return 0 if report.repairable else 2
-    print(system.describe())
+    print(outcome.system.describe())
     print()
     if report.already_tolerable:
         print("The system already admits a generalized quorum system; nothing to repair.")
@@ -314,7 +273,7 @@ def cmd_quorums_repair(args: argparse.Namespace) -> int:
         print("hardenings tried  :", report.candidates_considered)
         return 2
     print("Hardening any of the following channel sets restores a GQS:")
-    for channels in suggestions:
+    for channels in outcome.suggestions:
         print("  -", [tuple(ch) for ch in channels])
     print()
     print("hardenings tried  :", report.candidates_considered)
@@ -325,184 +284,80 @@ def cmd_quorums_repair(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------- #
 # simulate
 # ---------------------------------------------------------------------- #
-def _safety_label(object_kind: str, verdict: bool) -> str:
-    """Human-readable safety verdict line for one simulated object kind."""
-    if object_kind in ("register", "snapshot"):
-        return "linearizable={}".format(verdict)
-    if object_kind == "lattice":
-        return "lattice-agreement-properties={}".format(verdict)
-    if object_kind == "consensus":
-        return "agreement+validity+termination={}".format(verdict)
-    return "baseline (no safety check applied)"
-
-
-def _simulate_once(
-    gqs,
-    object_kind: str,
-    pattern,
-    ops: int,
-    seed: int,
-    run_index: int = 0,
-    root_seed: int = 0,
-    record_dir: Optional[str] = None,
-) -> Dict[str, Any]:
-    """Run one seeded protocol simulation; returns a picklable summary.
-
-    Module-level so ``simulate --runs N --jobs M`` can fan seeded repetitions
-    out across worker processes; with ``record_dir`` the run's trace is
-    persisted for later ``repro check`` re-verification.
-    """
-    ops_per_process = ops if object_kind == "register" else 1
-    run = run_workload(object_kind, gqs, pattern=pattern, ops_per_process=ops_per_process, seed=seed)
-    safety = safety_report(object_kind, gqs, pattern, run)
-    outcome = {
-        "completed": run.completed,
-        "verdict": safety["safe"],
-        "invokers": run.extra.get("invokers"),
-        "mean_latency": run.metrics.mean_latency,
-        "max_latency": run.metrics.max_latency,
-        "messages_sent": run.metrics.messages_sent,
-    }
-    if record_dir is not None:
-        write_run_trace(
-            record_dir,
-            name="simulate-{}".format(object_kind),
-            protocol=object_kind,
-            root_seed=root_seed,
-            run_index=run_index,
-            seed=seed,
-            history=run.history,
-            verdict={
-                "completed": run.completed,
-                "safe": safety["safe"],
-                "checker": safety["checker"],
-                "explored_states": safety["explored_states"],
-                "operations": run.metrics.operations,
-                "mean_latency": run.metrics.mean_latency,
-                "max_latency": run.metrics.max_latency,
-                "messages": run.metrics.messages_sent,
-            },
-            quorum_system=gqs,
-            pattern=pattern,
-            delay={"kind": "workload-default", "params": {}, "seed": seed},
-        )
-    return outcome
-
-
-def _simulate_indexed(gqs, object_kind: str, pattern, ops: int, record_dir, root_seed, item):
-    """Trampoline for the runs>1 fan-out: ``item`` is ``(run_index, seed)``."""
-    run_index, seed = item
-    return _simulate_once(
-        gqs, object_kind, pattern, ops, seed,
-        run_index=run_index, root_seed=root_seed, record_dir=record_dir,
-    )
-
-
 def cmd_simulate(args: argparse.Namespace) -> int:
     system = _resolve_system(args)
-    result = discover_gqs(system)
-    if not result.exists or result.quorum_system is None:
+    try:
+        report = api.simulate(
+            system,
+            protocol=args.object,
+            pattern=args.pattern,
+            ops=args.ops,
+            seed=args.seed,
+            runs=args.runs,
+            jobs=args.jobs,
+            record_traces=args.record_traces,
+        )
+    except NoQuorumSystemExistsError:
         print("The fail-prone system admits no generalized quorum system; nothing to simulate.")
         return 2
-    gqs = result.quorum_system
 
-    pattern = None
-    if args.pattern is not None:
-        matches = [f for f in system.patterns if f.name == args.pattern]
-        if not matches:
-            print(
-                "unknown pattern {!r}; available: {}".format(
-                    args.pattern, [f.name for f in system.patterns]
-                )
-            )
-            return 1
-        pattern = matches[0]
-
-    runs = max(1, args.runs)
-    if runs == 1:
-        outcome = _simulate_once(
-            gqs, args.object, pattern, args.ops, args.seed,
-            root_seed=args.seed, record_dir=args.record_traces,
-        )
-        print("object            :", args.object)
-        print("failure pattern   :", pattern.name if pattern is not None else "none")
+    pattern_label = report.pattern if report.pattern is not None else "none"
+    if report.runs == 1:
+        outcome = report.outcomes[0]
+        print("object            :", report.protocol)
+        print("failure pattern   :", pattern_label)
         print("invoked at        :", outcome["invokers"])
         print("all ops completed :", outcome["completed"])
-        print("safety            :", _safety_label(args.object, outcome["verdict"]))
+        print("safety            :", report.safety_label(outcome["verdict"]))
         print("mean latency      : {:.2f}".format(outcome["mean_latency"]))
         print("max latency       : {:.2f}".format(outcome["max_latency"]))
         print("messages sent     :", outcome["messages_sent"])
-        ok = outcome["completed"] and outcome["verdict"]
-        return 0 if ok or args.object == "paxos" else 1
+        return 0 if report.exit_ok else 1
 
-    # Repeated seeded runs: seeds are spawned deterministically from --seed, so
-    # the aggregate depends only on (--seed, --runs), never on --jobs.
-    seeds = spawn_seeds(args.seed, runs, "simulate", args.object)
-    runner = ParallelRunner(jobs=args.jobs)
-    task = functools.partial(
-        _simulate_indexed, gqs, args.object, pattern, args.ops, args.record_traces, args.seed
+    print("object            :", report.protocol)
+    print("failure pattern   :", pattern_label)
+    print(
+        "runs              : {} (seeds spawned from {}, jobs={})".format(
+            report.runs, report.root_seed, report.jobs
+        )
     )
-    outcomes = runner.map(task, list(enumerate(seeds)))
-
-    completed_runs = sum(1 for o in outcomes if o["completed"])
-    safe_runs = sum(1 for o in outcomes if o["verdict"])
-    all_completed = completed_runs == runs
-    all_safe = safe_runs == runs
-    print("object            :", args.object)
-    print("failure pattern   :", pattern.name if pattern is not None else "none")
-    print("runs              : {} (seeds spawned from {}, jobs={})".format(runs, args.seed, runner.jobs))
-    print("all ops completed : {} ({}/{} runs)".format(all_completed, completed_runs, runs))
-    print("safety            : {} ({}/{} runs)".format(_safety_label(args.object, all_safe), safe_runs, runs))
-    print("mean latency      : {:.2f} (avg over runs)".format(
-        sum(o["mean_latency"] for o in outcomes) / runs
-    ))
-    print("max latency       : {:.2f} (max over runs)".format(
-        max(o["max_latency"] for o in outcomes)
-    ))
-    print("messages sent     : {} (total)".format(sum(o["messages_sent"] for o in outcomes)))
-    return 0 if (all_completed and all_safe) or args.object == "paxos" else 1
+    print(
+        "all ops completed : {} ({}/{} runs)".format(
+            report.all_completed, report.completed_runs, report.runs
+        )
+    )
+    print(
+        "safety            : {} ({}/{} runs)".format(
+            report.safety_label(report.all_safe), report.safe_runs, report.runs
+        )
+    )
+    print("mean latency      : {:.2f} (avg over runs)".format(report.mean_latency))
+    print("max latency       : {:.2f} (max over runs)".format(report.max_latency))
+    print("messages sent     : {} (total)".format(report.total_messages))
+    return 0 if report.exit_ok else 1
 
 
 # ---------------------------------------------------------------------- #
 # sweep
 # ---------------------------------------------------------------------- #
-def _stderr_progress(label: str, done: int, total: int) -> None:
-    """Chunked shard-progress line for long sweeps (stderr, overwritten in place)."""
-    sys.stderr.write("\r{}: {}/{} shards".format(label, done, total))
-    if done >= total:
-        sys.stderr.write("\n")
-    sys.stderr.flush()
-
-
 def cmd_sweep(args: argparse.Namespace) -> int:
-    if args.kind in ("admissibility", "all"):
-        points = admissibility_sweep(
-            disconnect_probs=tuple(args.probs),
-            n=args.n,
-            num_patterns=args.patterns,
-            samples=args.samples,
-            seed=args.seed,
-            jobs=args.jobs,
-            progress=functools.partial(_stderr_progress, "admissibility")
-            if args.progress
-            else None,
-        )
-        print(admissibility_table(points))
+    outcome = api.sweep(
+        kind=args.kind,
+        probs=tuple(args.probs),
+        n=args.n,
+        patterns=args.patterns,
+        samples=args.samples,
+        seed=args.seed,
+        jobs=args.jobs,
+        progress_factory=(
+            (lambda label: functools.partial(_stderr_progress, label)) if args.progress else None
+        ),
+    )
+    if outcome.admissibility is not None:
+        print(outcome.admissibility_text())
         print()
-    if args.kind in ("reliability", "all"):
-        from .analysis import figure1_quorum_system
-
-        estimates = reliability_sweep(
-            figure1_quorum_system(),
-            disconnect_probs=tuple(args.probs),
-            samples=args.samples,
-            seed=args.seed,
-            jobs=args.jobs,
-            progress=functools.partial(_stderr_progress, "reliability")
-            if args.progress
-            else None,
-        )
-        print(reliability_table(estimates))
+    if outcome.reliability is not None:
+        print(outcome.reliability_text())
     return 0
 
 
@@ -544,7 +399,7 @@ def cmd_scenario_show(args: argparse.Namespace) -> int:
 
 def cmd_scenario_run(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.name)
-    result = run_scenario(
+    result = api.run_scenario(
         scenario,
         runs=args.runs,
         seed=args.seed,
@@ -579,7 +434,7 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
 
 def cmd_scenario_sweep(args: argparse.Namespace) -> int:
     names = args.names if args.names else None
-    results = sweep_scenarios(
+    results = api.sweep_scenarios(
         names,
         runs=args.runs,
         seed=args.seed,
@@ -595,10 +450,34 @@ def cmd_scenario_sweep(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# plugins
+# ---------------------------------------------------------------------- #
+def cmd_plugins_list(args: argparse.Namespace) -> int:
+    if args.format == "json":
+        payload = [
+            {
+                "module": module,
+                "contributions": [
+                    {"kind": descriptor.kind, "name": descriptor.name}
+                    for descriptor in plugin_contributions(module)
+                ],
+            }
+            for module in loaded_plugins()
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    if not loaded_plugins():
+        print("no plugins loaded (use --plugin MODULE or REPRO_PLUGINS=mod1,mod2)")
+        return 0
+    print(api.plugin_table().to_text())
+    return 0
+
+
+# ---------------------------------------------------------------------- #
 # examples
 # ---------------------------------------------------------------------- #
 def cmd_examples(args: argparse.Namespace) -> int:
-    outcomes = run_all_examples()
+    outcomes = api.run_examples()
     failures = 0
     for outcome in outcomes:
         status = "ok " if outcome.holds else "FAIL"
@@ -615,6 +494,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Generalized quorum systems: decision procedure, protocol simulation, studies.",
+    )
+    parser.add_argument(
+        "--version", action="version", version="repro {}".format(__version__)
+    )
+    parser.add_argument(
+        "--plugin",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="import a plugin module that registers extensions via repro.registry "
+        "(repeatable; the REPRO_PLUGINS environment variable works too)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -643,7 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--checker",
-        choices=["auto", "wing-gong", "dep-graph", "streaming"],
+        choices=list(CHECKERS),
         default="auto",
         help="trace mode: which linearizability checker re-judges register traces "
         "(default auto = dependency-graph witness with complete-search fallback)",
@@ -714,8 +604,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_arguments(simulate)
     simulate.add_argument(
         "--object",
-        choices=["register", "snapshot", "lattice", "consensus", "paxos"],
+        choices=list(PROTOCOLS),
         default="register",
+        help="which registered protocol to drive (plugins extend this list)",
     )
     simulate.add_argument("--pattern", help="name of the failure pattern to inject (default: none)")
     simulate.add_argument("--ops", type=int, default=2, help="operations per invoking process")
@@ -840,14 +731,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_sweep.set_defaults(func=cmd_scenario_sweep)
 
+    plugins = sub.add_parser(
+        "plugins", help="inspect loaded plugin modules and their registered extensions"
+    )
+    plugins_sub = plugins.add_subparsers(dest="plugins_command", required=True)
+    plugins_list = plugins_sub.add_parser(
+        "list", help="list loaded plugins and what each registered"
+    )
+    plugins_list.add_argument("--format", choices=["table", "json"], default="table")
+    plugins_list.set_defaults(func=cmd_plugins_list)
+
     examples = sub.add_parser("examples", help="replay the paper's worked examples")
     examples.set_defaults(func=cmd_examples)
 
     return parser
 
 
+def _plugin_modules_from_argv(argv: List[str]) -> List[str]:
+    """Pre-scan ``argv`` for ``--plugin`` values.
+
+    Plugins must be imported *before* the parser is built so the subcommand
+    choices generated from the registries (``--object``, ``--checker``, …)
+    include plugin-registered names.
+    """
+    modules = []
+    index = 0
+    while index < len(argv):
+        token = argv[index]
+        if token == "--plugin" and index + 1 < len(argv):
+            modules.append(argv[index + 1])
+            index += 2
+            continue
+        if token.startswith("--plugin="):
+            modules.append(token[len("--plugin=") :])
+        index += 1
+    return modules
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    try:
+        load_env_plugins()
+        for module in _plugin_modules_from_argv(argv):
+            load_plugin(module)
+    except ReproError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 1
+    if loaded_plugins():
+        # Mirror --plugin modules into the environment so spawn-started
+        # engine workers (macOS/Windows) re-load them too; fork-started
+        # workers inherit the registries either way.
+        os.environ[PLUGINS_ENV_VAR] = ",".join(loaded_plugins())
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -54,6 +54,21 @@ def _invoke_shard_task(
     return shard_task(spec, shard)
 
 
+def _worker_initializer() -> None:
+    """Prepare a fresh worker process: load the ``REPRO_PLUGINS`` plugins.
+
+    Fork-started workers inherit the parent's extension registries, but
+    spawn-started ones (the default on macOS/Windows) re-import :mod:`repro`
+    from scratch — without this hook, plugin-registered protocols, topologies
+    and scenarios would be unknown inside the pool.  The CLI mirrors
+    ``--plugin`` modules into ``REPRO_PLUGINS`` before any pool is built, so
+    both loading styles reach the workers.
+    """
+    from ..registry.plugins import load_env_plugins
+
+    load_env_plugins()
+
+
 class ParallelRunner:
     """Execute experiment shards across worker processes, deterministically.
 
@@ -113,7 +128,7 @@ class ParallelRunner:
     def _map_parallel(self, task: Callable[[Any], Any], work: Sequence[Any]) -> List[Any]:
         context = self._mp_context or multiprocessing.get_context()
         processes = min(self.jobs, len(work))
-        with context.Pool(processes=processes) as pool:
+        with context.Pool(processes=processes, initializer=_worker_initializer) as pool:
             self.last_mode = "parallel"
             results = []
             for done, result in enumerate(pool.imap(task, work), start=1):

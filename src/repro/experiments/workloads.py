@@ -31,7 +31,6 @@ from ..checkers import (
     check_register_witness_first,
     check_snapshot_linearizability,
 )
-from ..errors import ReproError
 from ..failures import FailurePattern
 from ..history import History
 from ..protocols import (
@@ -44,30 +43,9 @@ from ..protocols import (
 )
 from ..protocols.lattice_agreement import SemiLattice, SetLattice
 from ..quorums import GeneralizedQuorumSystem, QuorumSystem
+from ..registry import PROTOCOLS, RegistryView, register_protocol
 from ..sim import Cluster, DelayModel, PartialSynchronyDelay, UniformDelay
 from ..types import ProcessId, sorted_processes
-
-#: The protocol kinds the workload layer can drive.
-PROTOCOL_KINDS: Tuple[str, ...] = ("register", "snapshot", "lattice", "consensus", "paxos")
-
-#: Allowed protocol parameters per kind (validated by the factory builder).
-PROTOCOL_PARAM_KEYS: Dict[str, Tuple[str, ...]] = {
-    "register": ("classical", "push_interval", "relay"),
-    "snapshot": ("push_interval",),
-    "lattice": ("push_interval", "lattice"),
-    "consensus": ("view_duration",),
-    "paxos": ("retry_timeout",),
-}
-
-#: Per-kind defaults for the client plan: spacing between operations and the
-#: liveness horizon of the simulation.
-WORKLOAD_DEFAULTS: Dict[str, Dict[str, float]] = {
-    "register": {"op_spacing": 8.0, "max_time": 4_000.0},
-    "snapshot": {"op_spacing": 15.0, "max_time": 6_000.0},
-    "lattice": {"op_spacing": 3.0, "max_time": 6_000.0},
-    "consensus": {"op_spacing": 1.5, "max_time": 3_000.0},
-    "paxos": {"op_spacing": 1.5, "max_time": 1_500.0},
-}
 
 
 @dataclass
@@ -118,24 +96,275 @@ _termination_set = default_invokers
 
 
 # ---------------------------------------------------------------------- #
+# Built-in protocol factories (builders of the protocol registry entries)
+# ---------------------------------------------------------------------- #
+def _register_protocol_factory(quorum_system: GeneralizedQuorumSystem, params: Mapping[str, Any]):
+    if params.get("classical", False):
+        return classical_register_factory(quorum_system)
+    return gqs_register_factory(
+        quorum_system,
+        push_interval=params.get("push_interval", 1.0),
+        relay=params.get("relay", True),
+    )
+
+
+def _snapshot_protocol_factory(quorum_system: GeneralizedQuorumSystem, params: Mapping[str, Any]):
+    return snapshot_factory(quorum_system, push_interval=params.get("push_interval", 1.0))
+
+
+def _lattice_protocol_factory(quorum_system: GeneralizedQuorumSystem, params: Mapping[str, Any]):
+    lattice = params.get("lattice")
+    return lattice_agreement_factory(
+        quorum_system,
+        lattice=lattice if lattice is not None else SetLattice(),
+        push_interval=params.get("push_interval", 1.0),
+    )
+
+
+def _consensus_protocol_factory(quorum_system: GeneralizedQuorumSystem, params: Mapping[str, Any]):
+    return consensus_factory(quorum_system, view_duration=params.get("view_duration", 5.0))
+
+
+def _paxos_protocol_factory(quorum_system: GeneralizedQuorumSystem, params: Mapping[str, Any]):
+    return paxos_factory(
+        sorted_processes(quorum_system.processes),
+        retry_timeout=params.get("retry_timeout", 20.0),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Built-in client schedules (reusable by plugin protocols)
+# ---------------------------------------------------------------------- #
+def alternating_write_read_schedule(
+    invoking: Sequence[ProcessId], ops_per_process: int, op_spacing: float
+) -> List[Invocation]:
+    """Each process issues ``ops_per_process`` operations, alternating writes
+    (of unique values) and reads, rounds ``op_spacing`` apart and staggered
+    within a round so operations from different processes overlap."""
+    stagger = op_spacing / max(len(invoking), 1)
+    plan: List[Invocation] = []
+    for op_index in range(ops_per_process):
+        for proc_index, pid in enumerate(invoking):
+            at = 1.0 + op_index * op_spacing + proc_index * stagger
+            if op_index % 2 == 0:
+                plan.append(Invocation(at, pid, "write", ("{}#{}".format(pid, op_index),)))
+            else:
+                plan.append(Invocation(at, pid, "read"))
+    return plan
+
+
+def write_then_scan_schedule(
+    invoking: Sequence[ProcessId], ops_per_process: int, op_spacing: float
+) -> List[Invocation]:
+    """``ops_per_process`` writes per process to its own segment, then one scan each."""
+    stagger = op_spacing / max(len(invoking), 1)
+    plan: List[Invocation] = []
+    for op_index in range(ops_per_process):
+        for proc_index, pid in enumerate(invoking):
+            at = 1.0 + op_index * op_spacing + proc_index * stagger
+            plan.append(Invocation(at, pid, "write", ("{}#{}".format(pid, op_index),)))
+    scan_start = 1.0 + ops_per_process * op_spacing
+    for proc_index, pid in enumerate(invoking):
+        plan.append(Invocation(scan_start + proc_index * 2.0, pid, "scan"))
+    return plan
+
+
+def singleton_proposal_schedule(
+    invoking: Sequence[ProcessId], ops_per_process: int, op_spacing: float
+) -> List[Invocation]:
+    """Every process proposes the singleton set of its own id, ``op_spacing`` apart."""
+    return [
+        Invocation(1.0 + proc_index * op_spacing, pid, "propose", (frozenset({pid}),))
+        for proc_index, pid in enumerate(invoking)
+    ]
+
+
+def unique_value_proposal_schedule(
+    invoking: Sequence[ProcessId], ops_per_process: int, op_spacing: float
+) -> List[Invocation]:
+    """Every process proposes a unique value, ``op_spacing`` apart (consensus, Paxos)."""
+    return [
+        Invocation(1.0 + proc_index * op_spacing, pid, "propose", ("value-from-{}".format(pid),))
+        for proc_index, pid in enumerate(invoking)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Built-in safety judges (reusable by plugin protocols)
+# ---------------------------------------------------------------------- #
+def judge_register_history(
+    history: History,
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern],
+) -> Dict[str, Any]:
+    """Register linearizability via the witness-first path (dep-graph +
+    automatic Wing-Gong fallback); the ``checker`` label reports which decided."""
+    outcome = check_register_witness_first(history, initial_value=0)
+    label = (
+        "dep-graph"
+        if outcome.reason == "dependency-graph witness accepted"
+        else "dep-graph+fallback"
+    )
+    return {
+        "safe": outcome.is_linearizable,
+        "checker": label,
+        "explored_states": outcome.explored_states,
+    }
+
+
+def judge_snapshot_history(
+    history: History,
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern],
+) -> Dict[str, Any]:
+    """Snapshot linearizability through the per-segment Wing-Gong search."""
+    outcome = check_snapshot_linearizability(
+        history,
+        segment_ids=sorted_processes(quorum_system.processes),
+        initial_value=None,
+    )
+    return {
+        "safe": outcome.is_linearizable,
+        "checker": "snapshot-wing-gong",
+        "explored_states": outcome.explored_states,
+    }
+
+
+def judge_lattice_history(
+    history: History,
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern],
+) -> Dict[str, Any]:
+    """Lattice agreement: learned values are comparable joins of proposals."""
+    verdict = check_lattice_agreement(history)
+    return {"safe": verdict.ok, "checker": "lattice-properties", "explored_states": 0}
+
+
+def judge_consensus_history(
+    history: History,
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern],
+) -> Dict[str, Any]:
+    """Consensus: agreement + validity, termination at the pattern's ``U_f``."""
+    required = (
+        quorum_system.termination_component(pattern)
+        if pattern is not None
+        else quorum_system.processes
+    )
+    verdict = check_consensus(history, required_to_terminate=required)
+    return {"safe": verdict.ok, "checker": "consensus-properties", "explored_states": 0}
+
+
+def judge_baseline_history(
+    history: History,
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern],
+) -> Dict[str, Any]:
+    """The Paxos baseline makes no safety claim under channel failures."""
+    return {"safe": True, "checker": "none (baseline)", "explored_states": 0}
+
+
+def _finalize_consensus(result: "WorkloadResult") -> None:
+    result.extra["decided_values"] = sorted(
+        {h.result for h in result.cluster.handles if h.done}, key=repr
+    )
+
+
+def _uniform_default_delay(seed: int) -> DelayModel:
+    return UniformDelay(0.4, 1.6, seed=seed)
+
+
+def _partial_synchrony_default_delay(seed: int) -> DelayModel:
+    return PartialSynchronyDelay(gst=30.0, delta=1.0, seed=seed)
+
+
+# ---------------------------------------------------------------------- #
+# The built-in protocol registry entries
+# ---------------------------------------------------------------------- #
+register_protocol(
+    "register",
+    factory=_register_protocol_factory,
+    schedule=alternating_write_read_schedule,
+    judge=judge_register_history,
+    defaults={"op_spacing": 8.0, "max_time": 4_000.0},
+    params=("classical", "push_interval", "relay"),
+    default_delay=_uniform_default_delay,
+    safety_label="linearizable={}".format,
+    repeat_ops=True,
+    doc="the ABD-like MWMR atomic register over GQS access functions (Figure 4)",
+)
+register_protocol(
+    "snapshot",
+    factory=_snapshot_protocol_factory,
+    schedule=write_then_scan_schedule,
+    judge=judge_snapshot_history,
+    defaults={"op_spacing": 15.0, "max_time": 6_000.0},
+    params=("push_interval",),
+    default_delay=_uniform_default_delay,
+    safety_label="linearizable={}".format,
+    doc="atomic snapshots: per-process segments written and scanned atomically",
+)
+register_protocol(
+    "lattice",
+    factory=_lattice_protocol_factory,
+    schedule=singleton_proposal_schedule,
+    judge=judge_lattice_history,
+    defaults={"op_spacing": 3.0, "max_time": 6_000.0},
+    params=("push_interval", "lattice"),
+    default_delay=_uniform_default_delay,
+    safety_label="lattice-agreement-properties={}".format,
+    doc="generalized lattice agreement: learned values are comparable joins",
+)
+register_protocol(
+    "consensus",
+    factory=_consensus_protocol_factory,
+    schedule=unique_value_proposal_schedule,
+    judge=judge_consensus_history,
+    defaults={"op_spacing": 1.5, "max_time": 3_000.0},
+    params=("view_duration",),
+    default_delay=_partial_synchrony_default_delay,
+    safety_label="agreement+validity+termination={}".format,
+    finalize=_finalize_consensus,
+    doc="the view-based consensus protocol of Figure 6 under partial synchrony",
+)
+register_protocol(
+    "paxos",
+    factory=_paxos_protocol_factory,
+    schedule=unique_value_proposal_schedule,
+    judge=judge_baseline_history,
+    defaults={"op_spacing": 1.5, "max_time": 1_500.0},
+    params=("retry_timeout",),
+    default_delay=_partial_synchrony_default_delay,
+    safety_label=lambda verdict: "baseline (no safety check applied)",
+    tags=("baseline", "no-safety-claim"),
+    doc="the classical request/response Paxos baseline (no channel-failure safety claim)",
+)
+
+#: The protocol kinds the workload layer can drive — a live, read-only view
+#: over the :data:`repro.registry.PROTOCOLS` registry (plugin-registered
+#: protocols appear automatically).
+PROTOCOL_KINDS = RegistryView(PROTOCOLS, lambda descriptor: descriptor.name)
+
+#: Allowed protocol parameters per kind (validated by the factory builder).
+PROTOCOL_PARAM_KEYS = RegistryView(PROTOCOLS, lambda descriptor: descriptor.params)
+
+#: Per-kind defaults for the client plan: spacing between operations and the
+#: liveness horizon of the simulation.
+WORKLOAD_DEFAULTS = RegistryView(PROTOCOLS, lambda descriptor: descriptor.extras["defaults"])
+
+
+# ---------------------------------------------------------------------- #
 # Declarative building blocks
 # ---------------------------------------------------------------------- #
 def validate_protocol_params(kind: str, params: Mapping[str, Any]) -> None:
     """Check a protocol kind and its parameter names (raises :class:`ReproError`).
 
-    The single validator shared by :func:`build_protocol_factory` and the
-    declarative :class:`~repro.scenarios.spec.ProtocolSpec`, so typos in
-    scenario files fail loudly with one consistent message.
+    The single registry-backed validator shared by
+    :func:`build_protocol_factory` and the declarative
+    :class:`~repro.scenarios.spec.ProtocolSpec`, so typos in scenario files
+    fail loudly with one consistent message.
     """
-    if kind not in PROTOCOL_KINDS:
-        raise ReproError(
-            "unknown protocol kind {!r}; expected one of {}".format(kind, list(PROTOCOL_KINDS))
-        )
-    unknown = set(params) - set(PROTOCOL_PARAM_KEYS[kind])
-    if unknown:
-        raise ReproError(
-            "protocol {!r} does not accept parameter(s) {}".format(kind, sorted(unknown))
-        )
+    PROTOCOLS.validate_params(kind, params)
 
 
 def build_protocol_factory(
@@ -145,34 +374,12 @@ def build_protocol_factory(
 ):
     """Build a process factory for protocol ``kind`` over ``quorum_system``.
 
-    ``params`` supplies the protocol's tuning knobs (see
-    :data:`PROTOCOL_PARAM_KEYS`, validated by :func:`validate_protocol_params`).
+    ``params`` supplies the protocol's tuning knobs, validated against the
+    registry descriptor's schema (see :data:`PROTOCOL_PARAM_KEYS`).
     """
     params = dict(params or {})
-    validate_protocol_params(kind, params)
-    if kind == "register":
-        if params.get("classical", False):
-            return classical_register_factory(quorum_system)
-        return gqs_register_factory(
-            quorum_system,
-            push_interval=params.get("push_interval", 1.0),
-            relay=params.get("relay", True),
-        )
-    if kind == "snapshot":
-        return snapshot_factory(quorum_system, push_interval=params.get("push_interval", 1.0))
-    if kind == "lattice":
-        lattice = params.get("lattice")
-        return lattice_agreement_factory(
-            quorum_system,
-            lattice=lattice if lattice is not None else SetLattice(),
-            push_interval=params.get("push_interval", 1.0),
-        )
-    if kind == "consensus":
-        return consensus_factory(quorum_system, view_duration=params.get("view_duration", 5.0))
-    return paxos_factory(
-        sorted_processes(quorum_system.processes),
-        retry_timeout=params.get("retry_timeout", 20.0),
-    )
+    descriptor = PROTOCOLS.validate_params(kind, params)
+    return descriptor.builder(quorum_system, params)
 
 
 def client_schedule(
@@ -183,48 +390,18 @@ def client_schedule(
 ) -> List[Invocation]:
     """The canonical client plan for protocol ``kind`` over ``invoking`` processes.
 
-    * ``register`` — each process issues ``ops_per_process`` operations,
-      alternating writes (of unique values) and reads, rounds ``op_spacing``
-      apart and staggered within a round so operations overlap;
-    * ``snapshot`` — ``ops_per_process`` writes per process to its own
-      segment, then one scan per process;
-    * ``lattice`` — every process proposes the singleton set of its own id,
-      ``op_spacing`` apart;
-    * ``consensus`` / ``paxos`` — every process proposes a unique value,
-      ``op_spacing`` apart.
+    Dispatches to the registered protocol's schedule builder:
+
+    * ``register`` — :func:`alternating_write_read_schedule`;
+    * ``snapshot`` — :func:`write_then_scan_schedule`;
+    * ``lattice`` — :func:`singleton_proposal_schedule`;
+    * ``consensus`` / ``paxos`` — :func:`unique_value_proposal_schedule`.
     """
-    if kind not in PROTOCOL_KINDS:
-        raise ReproError(
-            "unknown protocol kind {!r}; expected one of {}".format(kind, list(PROTOCOL_KINDS))
-        )
-    spacing = op_spacing if op_spacing is not None else WORKLOAD_DEFAULTS[kind]["op_spacing"]
-    stagger = spacing / max(len(invoking), 1)
-    plan: List[Invocation] = []
-    if kind == "register":
-        for op_index in range(ops_per_process):
-            for proc_index, pid in enumerate(invoking):
-                at = 1.0 + op_index * spacing + proc_index * stagger
-                if op_index % 2 == 0:
-                    plan.append(Invocation(at, pid, "write", ("{}#{}".format(pid, op_index),)))
-                else:
-                    plan.append(Invocation(at, pid, "read"))
-    elif kind == "snapshot":
-        for op_index in range(ops_per_process):
-            for proc_index, pid in enumerate(invoking):
-                at = 1.0 + op_index * spacing + proc_index * stagger
-                plan.append(Invocation(at, pid, "write", ("{}#{}".format(pid, op_index),)))
-        scan_start = 1.0 + ops_per_process * spacing
-        for proc_index, pid in enumerate(invoking):
-            plan.append(Invocation(scan_start + proc_index * 2.0, pid, "scan"))
-    elif kind == "lattice":
-        for proc_index, pid in enumerate(invoking):
-            plan.append(Invocation(1.0 + proc_index * spacing, pid, "propose", (frozenset({pid}),)))
-    else:  # consensus, paxos
-        for proc_index, pid in enumerate(invoking):
-            plan.append(
-                Invocation(1.0 + proc_index * spacing, pid, "propose", ("value-from-{}".format(pid),))
-            )
-    return plan
+    descriptor = PROTOCOLS.get(kind)
+    spacing = (
+        op_spacing if op_spacing is not None else descriptor.extras["defaults"]["op_spacing"]
+    )
+    return descriptor.extras["schedule"](invoking, ops_per_process, spacing)
 
 
 def execute_workload(
@@ -286,21 +463,20 @@ def run_workload(
     baseline, and the liveness horizon is protocol-specific
     (:data:`WORKLOAD_DEFAULTS`).
     """
-    if kind not in PROTOCOL_KINDS:
-        raise ReproError(
-            "unknown protocol kind {!r}; expected one of {}".format(kind, list(PROTOCOL_KINDS))
-        )
+    descriptor = PROTOCOLS.get(kind)
     if delay_model is None:
-        if kind in ("consensus", "paxos"):
-            delay_model = PartialSynchronyDelay(gst=30.0, delta=1.0, seed=seed)
-        else:
-            delay_model = UniformDelay(0.4, 1.6, seed=seed)
+        default_delay = descriptor.extras.get("default_delay")
+        delay_model = (
+            default_delay(seed) if default_delay is not None else _uniform_default_delay(seed)
+        )
     factory = build_protocol_factory(kind, quorum_system, protocol_params)
     invoking = (
         list(invokers) if invokers is not None else default_invokers(quorum_system, pattern)
     )
     schedule = client_schedule(kind, invoking, ops_per_process=ops_per_process, op_spacing=op_spacing)
-    horizon = max_time if max_time is not None else WORKLOAD_DEFAULTS[kind]["max_time"]
+    horizon = (
+        max_time if max_time is not None else descriptor.extras["defaults"]["max_time"]
+    )
     result = execute_workload(
         quorum_system,
         factory,
@@ -311,10 +487,9 @@ def run_workload(
         max_time=horizon,
         extra={"invokers": invoking, "protocol": kind},
     )
-    if kind == "consensus":
-        result.extra["decided_values"] = sorted(
-            {h.result for h in result.cluster.handles if h.done}, key=repr
-        )
+    finalize = descriptor.extras.get("finalize")
+    if finalize is not None:
+        finalize(result)
     return result
 
 
@@ -341,45 +516,7 @@ def judge_history(
     ``explored_states`` is the number of states the linearizability search
     (or witness graph) touched — zero for the checkers that do not search.
     """
-    if kind == "register":
-        outcome = check_register_witness_first(history, initial_value=0)
-        label = (
-            "dep-graph"
-            if outcome.reason == "dependency-graph witness accepted"
-            else "dep-graph+fallback"
-        )
-        return {
-            "safe": outcome.is_linearizable,
-            "checker": label,
-            "explored_states": outcome.explored_states,
-        }
-    if kind == "snapshot":
-        outcome = check_snapshot_linearizability(
-            history,
-            segment_ids=sorted_processes(quorum_system.processes),
-            initial_value=None,
-        )
-        return {
-            "safe": outcome.is_linearizable,
-            "checker": "snapshot-wing-gong",
-            "explored_states": outcome.explored_states,
-        }
-    if kind == "lattice":
-        verdict = check_lattice_agreement(history)
-        return {"safe": verdict.ok, "checker": "lattice-properties", "explored_states": 0}
-    if kind == "consensus":
-        required = (
-            quorum_system.termination_component(pattern)
-            if pattern is not None
-            else quorum_system.processes
-        )
-        verdict = check_consensus(history, required_to_terminate=required)
-        return {"safe": verdict.ok, "checker": "consensus-properties", "explored_states": 0}
-    if kind == "paxos":
-        return {"safe": True, "checker": "none (baseline)", "explored_states": 0}
-    raise ReproError(
-        "unknown protocol kind {!r}; expected one of {}".format(kind, list(PROTOCOL_KINDS))
-    )
+    return PROTOCOLS.get(kind).extras["judge"](history, quorum_system, pattern)
 
 
 def safety_report(

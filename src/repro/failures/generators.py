@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ReproError
 from ..graph import DiGraph
+from ..registry import TOPOLOGIES, RegistryView, register_topology
 from ..types import Channel, ProcessId, sorted_processes
 from .failprone import FailProneSystem
 from .pattern import FailurePattern
@@ -432,30 +433,129 @@ def _minority_topology(n: int = 5, name: Optional[str] = None) -> FailProneSyste
     )
 
 
-#: Topology kind -> builder of the corresponding fail-prone system.  Every
-#: builder takes only JSON-representable keyword parameters, so a topology can
-#: be described declaratively in a scenario file.
-TOPOLOGY_KINDS: Dict[str, Any] = {
-    "figure1": _figure1_topology,
-    "figure1-modified": _figure1_modified_topology,
-    "ring": ring_unidirectional_system,
-    "geo": geo_replicated_system,
-    "minority": _minority_topology,
-    "adversarial-partition": adversarial_partition_system,
-    "random": random_fail_prone_system,
-    "large-threshold": large_threshold_system,
-    "multi-region": multi_region_system,
-}
+def _exact_builtin(expected: str, build: Any) -> Any:
+    """A ``--builtin`` matcher for a fixed name (e.g. ``figure1``)."""
+
+    def matcher(text: str) -> Optional[FailProneSystem]:
+        return build() if text == expected else None
+
+    return matcher
+
+
+def _ring_builtin(text: str) -> Optional[FailProneSystem]:
+    if not text.startswith("ring-"):
+        return None
+    return ring_unidirectional_system(int(text.split("-", 1)[1]))
+
+
+def _geo_builtin(text: str) -> Optional[FailProneSystem]:
+    if not text.startswith("geo-"):
+        return None
+    sites, replicas = text.split("-", 1)[1].split("x")
+    return geo_replicated_system(sites=int(sites), replicas_per_site=int(replicas))
+
+
+def _minority_builtin(text: str) -> Optional[FailProneSystem]:
+    if not text.startswith("minority-"):
+        return None
+    return _minority_topology(int(text.split("-", 1)[1]))
+
+
+def _adversarial_builtin(text: str) -> Optional[FailProneSystem]:
+    if not text.startswith("adversarial-"):
+        return None
+    return adversarial_partition_system(int(text.split("-", 1)[1]))
+
+
+def _large_threshold_builtin(text: str) -> Optional[FailProneSystem]:
+    if not text.startswith("large-threshold-"):
+        return None
+    parts = text[len("large-threshold-") :].split("x")
+    if len(parts) == 2:
+        return large_threshold_system(n=int(parts[0]), max_crashes=int(parts[1]))
+    if len(parts) == 3:
+        return large_threshold_system(
+            n=int(parts[0]), max_crashes=int(parts[1]), zones=int(parts[2]), catastrophic=True
+        )
+    return None
+
+
+def _multiregion_builtin(text: str) -> Optional[FailProneSystem]:
+    if not text.startswith("multiregion-"):
+        return None
+    regions, replicas = text.split("-", 1)[1].split("x")
+    return multi_region_system(regions=int(regions), replicas_per_region=int(replicas))
+
+
+# Every builder takes only JSON-representable keyword parameters, so a
+# topology can be described declaratively in a scenario file; the ``builtin``
+# matchers expose the CLI ``--builtin`` spellings (registration order is the
+# order names are tried and listed in the unknown-name error).
+register_topology(
+    "figure1",
+    builder=_figure1_topology,
+    builtin=("figure1", _exact_builtin("figure1", _figure1_topology)),
+    doc="the paper's Figure 1 fail-prone system (weakly connected read quorums)",
+)
+register_topology(
+    "figure1-modified",
+    builder=_figure1_modified_topology,
+    builtin=("figure1-modified", _exact_builtin("figure1-modified", _figure1_modified_topology)),
+    doc="Figure 1 with hardened channels removed; admits no GQS (Theorem 2)",
+)
+register_topology(
+    "ring",
+    builder=ring_unidirectional_system,
+    builtin=("ring-<n>", _ring_builtin),
+    doc="Figure 1 generalised: majority write windows plus one upstream reader on a directed ring",
+)
+register_topology(
+    "geo",
+    builder=geo_replicated_system,
+    builtin=("geo-<sites>x<replicas>", _geo_builtin),
+    doc="geo-replication: replica sites whose WAN links fail asymmetrically",
+)
+register_topology(
+    "minority",
+    builder=_minority_topology,
+    builtin=("minority-<n>", _minority_builtin),
+    doc="classical crash-only threshold system tolerating any minority of crashes",
+)
+register_topology(
+    "adversarial-partition",
+    builder=adversarial_partition_system,
+    builtin=("adversarial-<n>", _adversarial_builtin),
+    doc="two halves with one-way connectivity across the cut (GQS but no QS+)",
+)
+register_topology(
+    "random",
+    builder=random_fail_prone_system,
+    doc="seeded random sampling of crash and disconnection patterns",
+)
+register_topology(
+    "large-threshold",
+    builder=large_threshold_system,
+    builtin=("large-threshold-<n>x<k>[x<zones>]", _large_threshold_builtin),
+    doc="production-size rotating crash windows, optionally zoned with a blackout",
+)
+register_topology(
+    "multi-region",
+    builder=multi_region_system,
+    builtin=("multiregion-<regions>x<replicas>", _multiregion_builtin),
+    doc="WAN-epoch islands over replica regions plus a primary-chain blackout",
+)
+
+#: Topology kind -> builder of the corresponding fail-prone system — a live,
+#: read-only view over the :data:`repro.registry.TOPOLOGIES` registry
+#: (plugin-registered topologies appear automatically).
+TOPOLOGY_KINDS = RegistryView(TOPOLOGIES, lambda descriptor: descriptor.builder)
 
 
 def build_fail_prone_system(kind: str, params: Optional[Mapping[str, Any]] = None) -> FailProneSystem:
     """Build a fail-prone system from a declarative ``(kind, params)`` description."""
-    if kind not in TOPOLOGY_KINDS:
-        raise ReproError(
-            "unknown topology kind {!r}; expected one of {}".format(kind, sorted(TOPOLOGY_KINDS))
-        )
+    descriptor = TOPOLOGIES.get(kind)
     try:
-        return TOPOLOGY_KINDS[kind](**dict(params or {}))
+        return descriptor.builder(**dict(params or {}))
     except TypeError as error:
         raise ReproError("invalid parameters for topology {!r}: {}".format(kind, error))
 
@@ -463,45 +563,28 @@ def build_fail_prone_system(kind: str, params: Optional[Mapping[str, Any]] = Non
 def builtin_fail_prone_system(name: str) -> FailProneSystem:
     """Resolve a built-in fail-prone system from its CLI name.
 
-    Accepted names: ``figure1``, ``figure1-modified``, ``ring-<n>``,
-    ``geo-<sites>x<replicas>``, ``minority-<n>``, ``adversarial-<n>``,
-    ``large-threshold-<n>x<k>[x<zones>]`` (zoned variants append a
-    catastrophic blackout pattern) and ``multiregion-<regions>x<replicas>``.
+    The accepted spellings come from the topology registry: every descriptor
+    with a ``builtin`` matcher is tried in registration order (``figure1``,
+    ``figure1-modified``, ``ring-<n>``, ``geo-<sites>x<replicas>``,
+    ``minority-<n>``, ``adversarial-<n>``, ``large-threshold-<n>x<k>[x<zones>]``
+    — zoned variants append a catastrophic blackout pattern —
+    ``multiregion-<regions>x<replicas>``, plus any plugin-registered forms).
     """
-    try:
-        if name == "figure1":
-            return _figure1_topology()
-        if name == "figure1-modified":
-            return _figure1_modified_topology()
-        if name.startswith("ring-"):
-            return ring_unidirectional_system(int(name.split("-", 1)[1]))
-        if name.startswith("geo-"):
-            sites, replicas = name.split("-", 1)[1].split("x")
-            return geo_replicated_system(sites=int(sites), replicas_per_site=int(replicas))
-        if name.startswith("minority-"):
-            return _minority_topology(int(name.split("-", 1)[1]))
-        if name.startswith("adversarial-"):
-            return adversarial_partition_system(int(name.split("-", 1)[1]))
-        if name.startswith("large-threshold-"):
-            parts = name[len("large-threshold-") :].split("x")
-            if len(parts) == 2:
-                return large_threshold_system(n=int(parts[0]), max_crashes=int(parts[1]))
-            if len(parts) == 3:
-                return large_threshold_system(
-                    n=int(parts[0]),
-                    max_crashes=int(parts[1]),
-                    zones=int(parts[2]),
-                    catastrophic=True,
-                )
-        if name.startswith("multiregion-"):
-            regions, replicas = name.split("-", 1)[1].split("x")
-            return multi_region_system(
-                regions=int(regions), replicas_per_region=int(replicas)
-            )
-    except ValueError:
-        pass
+    forms = []
+    for descriptor in TOPOLOGIES.descriptors():
+        builtin = descriptor.extras.get("builtin")
+        if builtin is None:
+            continue
+        form, matcher = builtin
+        forms.append(form)
+        try:
+            system = matcher(name)
+        except ValueError:
+            continue
+        if system is not None:
+            return system
     raise ReproError(
-        "unknown built-in system {!r}; use figure1, figure1-modified, ring-<n>, "
-        "geo-<sites>x<replicas>, minority-<n>, adversarial-<n>, "
-        "large-threshold-<n>x<k>[x<zones>] or multiregion-<regions>x<replicas>".format(name)
+        "unknown built-in system {!r}; use {}".format(
+            name, " or ".join([", ".join(forms[:-1]), forms[-1]]) if len(forms) > 1 else forms[0]
+        )
     )

@@ -11,11 +11,11 @@ catalogue with :func:`register_scenario`.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Any, Dict, List
 
 from ..analysis.metrics import ResultTable
-from ..errors import ReproError
+from ..registry import SCENARIOS
+from ..registry import register_scenario as _register_scenario_descriptor
 from .spec import (
     DelaySpec,
     FailureSpec,
@@ -44,34 +44,30 @@ CATALOGUE_COLUMNS = (
     "paper section",
 )
 
-_REGISTRY: "OrderedDict[str, ScenarioSpec]" = OrderedDict()
-
 
 def register_scenario(scenario: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
-    """Add a scenario to the registry (``replace=True`` overwrites an entry)."""
-    if scenario.name in _REGISTRY and not replace:
-        raise ReproError("scenario {!r} is already registered".format(scenario.name))
-    _REGISTRY[scenario.name] = scenario
-    return scenario
+    """Add a scenario to the catalogue (``replace=True`` overwrites an entry).
+
+    Storage lives in the central :data:`repro.registry.SCENARIOS` registry, so
+    plugin-registered scenarios and the built-in catalogue share one ordered
+    namespace.
+    """
+    return _register_scenario_descriptor(scenario, replace=replace)
 
 
 def get_scenario(name: str) -> ScenarioSpec:
     """Look up a registered scenario by name."""
-    if name not in _REGISTRY:
-        raise ReproError(
-            "unknown scenario {!r}; available: {}".format(name, scenario_names())
-        )
-    return _REGISTRY[name]
+    return SCENARIOS.get(name).extras["spec"]
 
 
 def scenario_names() -> List[str]:
     """Registered scenario names, in registration order."""
-    return list(_REGISTRY)
+    return SCENARIOS.names()
 
 
 def all_scenarios() -> List[ScenarioSpec]:
     """All registered scenarios, in registration order."""
-    return list(_REGISTRY.values())
+    return [descriptor.extras["spec"] for descriptor in SCENARIOS.descriptors()]
 
 
 # ---------------------------------------------------------------------- #

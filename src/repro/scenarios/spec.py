@@ -26,9 +26,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..errors import ReproError
-from ..experiments import validate_protocol_params
-from ..failures import TOPOLOGY_KINDS
-from ..sim import DELAY_MODEL_KINDS
+from ..experiments import validate_protocol_params  # populates the protocol registry
+from ..failures import TOPOLOGY_KINDS  # noqa: F401 - populates the topology registry
+from ..registry import DELAY_MODELS, TOPOLOGIES
+from ..sim import DELAY_MODEL_KINDS  # noqa: F401 - populates the delay-model registry
 
 __all__ = [
     "DelaySpec",
@@ -66,12 +67,8 @@ class TopologySpec:
     params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.kind != EXPLICIT_TOPOLOGY and self.kind not in TOPOLOGY_KINDS:
-            raise ReproError(
-                "unknown topology kind {!r}; expected one of {}".format(
-                    self.kind, sorted(TOPOLOGY_KINDS) + [EXPLICIT_TOPOLOGY]
-                )
-            )
+        if self.kind != EXPLICIT_TOPOLOGY and self.kind not in TOPOLOGIES:
+            raise TOPOLOGIES.unknown_name_error(self.kind, extra=(EXPLICIT_TOPOLOGY,))
         # A scenario's results must depend only on (scenario, runs, seed); a
         # randomly sampled topology without a pinned seed would redraw the
         # fail-prone system on every build and break that contract.
@@ -135,12 +132,8 @@ class DelaySpec:
     params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.kind not in DELAY_MODEL_KINDS:
-            raise ReproError(
-                "unknown delay model kind {!r}; expected one of {}".format(
-                    self.kind, sorted(DELAY_MODEL_KINDS)
-                )
-            )
+        if self.kind not in DELAY_MODELS:
+            raise DELAY_MODELS.unknown_name_error(self.kind)
 
     def label(self) -> str:
         return "{}({})".format(self.kind, _label_params(self.params))

@@ -17,9 +17,9 @@ decided here.  Three models cover the paper's needs:
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Mapping, Optional
 
-from ..errors import ReproError
+from ..registry import DELAY_MODELS, RegistryView, register_delay_model
 from ..types import Channel
 
 
@@ -116,12 +116,42 @@ class PartialSynchronyDelay(DelayModel):
 # ---------------------------------------------------------------------- #
 # Declarative construction (used by the scenario subsystem)
 # ---------------------------------------------------------------------- #
-#: Allowed keyword parameters for each delay-model kind.
-DELAY_MODEL_KINDS: Dict[str, tuple] = {
-    "fixed": ("latency",),
-    "uniform": ("min_delay", "max_delay"),
-    "partial-synchrony": ("gst", "delta", "pre_gst_max"),
-}
+def _build_fixed(seed: Optional[int], **params: Any) -> DelayModel:
+    del seed  # deterministic model, no RNG
+    return FixedDelay(**params)
+
+
+def _build_uniform(seed: Optional[int], **params: Any) -> DelayModel:
+    return UniformDelay(seed=seed, **params)
+
+
+def _build_partial_synchrony(seed: Optional[int], **params: Any) -> DelayModel:
+    return PartialSynchronyDelay(seed=seed, **params)
+
+
+register_delay_model(
+    "fixed",
+    builder=_build_fixed,
+    params=("latency",),
+    doc="every message is delivered exactly 'latency' time units after sending",
+)
+register_delay_model(
+    "uniform",
+    builder=_build_uniform,
+    params=("min_delay", "max_delay"),
+    doc="asynchronous executions: delays drawn uniformly from [min_delay, max_delay]",
+)
+register_delay_model(
+    "partial-synchrony",
+    builder=_build_partial_synchrony,
+    params=("gst", "delta", "pre_gst_max"),
+    doc="Dwork-Lynch-Stockmeyer: arbitrary delays before GST, within delta after",
+)
+
+#: Allowed keyword parameters for each delay-model kind — a live, read-only
+#: view over the :data:`repro.registry.DELAY_MODELS` registry (plugin-registered
+#: models appear automatically).
+DELAY_MODEL_KINDS = RegistryView(DELAY_MODELS, lambda descriptor: descriptor.params)
 
 
 def build_delay_model(
@@ -129,26 +159,13 @@ def build_delay_model(
 ) -> DelayModel:
     """Build a delay model from a declarative ``(kind, params)`` description.
 
-    ``kind`` is one of :data:`DELAY_MODEL_KINDS`; ``params`` supplies the
-    model's keyword arguments (validated, so a typo in a scenario file fails
-    loudly instead of silently using a default).  ``seed`` feeds the model's
-    RNG and is supplied per run, which keeps the description itself free of
+    ``kind`` names an entry of the :data:`repro.registry.DELAY_MODELS`
+    registry; ``params`` supplies the model's keyword arguments (validated
+    against the descriptor's schema, so a typo in a scenario file fails loudly
+    instead of silently using a default).  ``seed`` feeds the model's RNG and
+    is supplied per run, which keeps the description itself free of
     run-specific state.
     """
     params = dict(params or {})
-    if kind not in DELAY_MODEL_KINDS:
-        raise ReproError(
-            "unknown delay model kind {!r}; expected one of {}".format(
-                kind, sorted(DELAY_MODEL_KINDS)
-            )
-        )
-    unknown = set(params) - set(DELAY_MODEL_KINDS[kind])
-    if unknown:
-        raise ReproError(
-            "delay model {!r} does not accept parameter(s) {}".format(kind, sorted(unknown))
-        )
-    if kind == "fixed":
-        return FixedDelay(**params)
-    if kind == "uniform":
-        return UniformDelay(seed=seed, **params)
-    return PartialSynchronyDelay(seed=seed, **params)
+    descriptor = DELAY_MODELS.validate_params(kind, params)
+    return descriptor.builder(seed, **params)

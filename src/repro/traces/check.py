@@ -39,6 +39,7 @@ from ..checkers import check_register_linearizability
 from ..engine import ParallelRunner, ProgressCallback
 from ..errors import ReproError
 from ..experiments import judge_history
+from ..registry import CHECKERS, RegistryView, register_checker
 from .store import Trace, list_trace_files, load_trace
 
 __all__ = [
@@ -47,9 +48,6 @@ __all__ = [
     "check_trace",
     "check_traces",
 ]
-
-#: The ``--checker`` choices of ``repro check``.
-CHECKER_KINDS = ("auto", "wing-gong", "dep-graph", "streaming")
 
 #: Columns of the verdict table, one row per trace file.
 CHECK_COLUMNS = (
@@ -96,17 +94,48 @@ def _check_auto(trace: Trace) -> Dict[str, Any]:
     }
 
 
+def _forced_register_checker(mode: str):
+    """A checker that forces a register-specific algorithm; other protocols
+    have a single decision procedure each and route through ``auto``."""
+
+    def judge(trace: Trace) -> Dict[str, Any]:
+        if trace.protocol == "register":
+            return _check_register(trace, mode)
+        return _check_auto(trace)
+
+    return judge
+
+
+register_checker(
+    "auto",
+    judge=_check_auto,
+    doc="the per-protocol inline judgement (witness-first register path)",
+)
+register_checker(
+    "wing-gong",
+    judge=_forced_register_checker("wing-gong"),
+    doc="force the complete Wing-Gong search for register traces",
+)
+register_checker(
+    "dep-graph",
+    judge=_check_auto,
+    doc="the dependency-graph witness path with automatic fallback (what auto does)",
+)
+register_checker(
+    "streaming",
+    judge=_forced_register_checker("streaming"),
+    doc="the incremental forward-closure register checker, fed in invocation order",
+)
+
+#: The ``--checker`` choices of ``repro check`` — a live, read-only view over
+#: the :data:`repro.registry.CHECKERS` registry (plugin checkers appear
+#: automatically).
+CHECKER_KINDS = RegistryView(CHECKERS, lambda descriptor: descriptor.name)
+
+
 def check_trace(trace: Trace, checker: str = "auto") -> Dict[str, Any]:
     """Re-verify one parsed trace; returns a verdict-table row."""
-    if checker not in CHECKER_KINDS:
-        raise ReproError(
-            "unknown checker {!r}; expected one of {}".format(checker, list(CHECKER_KINDS))
-        )
-    if trace.protocol == "register" and checker in ("wing-gong", "streaming"):
-        outcome = _check_register(trace, checker)
-    else:
-        # "auto" and "dep-graph" both take the shared witness-first dispatch.
-        outcome = _check_auto(trace)
+    outcome = CHECKERS.get(checker).builder(trace)
     recorded = trace.recorded_safe
     return {
         "trace": os.path.basename(trace.path),
@@ -203,10 +232,7 @@ def check_traces(
     order via the runner's ordered map — the report depends only on the
     directory contents and the checker, never on ``jobs``.
     """
-    if checker not in CHECKER_KINDS:
-        raise ReproError(
-            "unknown checker {!r}; expected one of {}".format(checker, list(CHECKER_KINDS))
-        )
+    CHECKERS.get(checker)  # fail fast on an unknown checker, before any work
     paths = list_trace_files(directory)
     runner = runner if runner is not None else ParallelRunner(jobs=jobs, progress=progress)
     rows = runner.map(functools.partial(_check_trace_task, checker), paths)

@@ -1,0 +1,151 @@
+"""Tests for the typed facade (:mod:`repro.api`)."""
+
+import pytest
+
+from repro import api
+from repro.errors import NoQuorumSystemExistsError, ReproError
+from repro.scenarios import get_scenario
+
+
+# ---------------------------------------------------------------------- #
+# System resolution and the quorum-decision toolbox
+# ---------------------------------------------------------------------- #
+def test_resolve_system_builtin_and_spec(tmp_path):
+    system = api.resolve_system(builtin="ring-5")
+    assert len(system.processes) == 5
+    path = tmp_path / "system.json"
+    path.write_text(
+        '{"processes": ["a", "b", "c"], "patterns": [{"name": "f", "crash": ["c"], '
+        '"disconnect": []}]}'
+    )
+    loaded = api.resolve_system(spec=str(path))
+    assert sorted(loaded.processes) == ["a", "b", "c"]
+
+
+def test_discovery_report_payload_matches_cli_json():
+    import json
+    import os
+
+    report = api.discovery_report(api.resolve_system(builtin="figure1"))
+    golden_path = os.path.join(
+        os.path.dirname(__file__), "golden", "quorums_discover_figure1.json"
+    )
+    with open(golden_path, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    assert report.to_dict() == golden
+    assert report.exists is True
+    assert all(row["candidates"] >= 1 for row in report.rows)
+
+
+def test_classify_report():
+    report = api.classify(api.resolve_system(builtin="figure1"))
+    assert report.admits == {"classical": False, "strong": False, "generalized": True}
+    payload = report.to_dict()
+    assert payload["system"]["num_processes"] == len(report.system.processes)
+
+
+def test_repair_outcome_json_projection():
+    outcome = api.repair(api.resolve_system(builtin="figure1-modified"), max_channels=1)
+    assert outcome.report.repairable
+    payload = outcome.to_dict()
+    assert payload["repairable"] is True
+    assert payload["suggestions"] == outcome.suggestions
+    assert [["a", "b"]] in outcome.suggestions
+
+
+# ---------------------------------------------------------------------- #
+# simulate
+# ---------------------------------------------------------------------- #
+def test_simulate_single_run_report():
+    system = api.resolve_system(builtin="figure1")
+    report = api.simulate(system, protocol="register", pattern="f1", ops=1, seed=3)
+    assert report.runs == 1
+    assert report.ok and report.exit_ok
+    assert report.safety_label(True) == "linearizable=True"
+    assert report.outcomes[0]["invokers"]
+
+
+def test_simulate_batch_independent_of_jobs():
+    system = api.resolve_system(builtin="figure1")
+    serial = api.simulate(system, protocol="register", pattern="f1", ops=1, seed=3, runs=3, jobs=1)
+    parallel = api.simulate(system, protocol="register", pattern="f1", ops=1, seed=3, runs=3, jobs=2)
+    assert serial.outcomes == parallel.outcomes
+    assert serial.total_messages == parallel.total_messages
+    assert serial.runs == parallel.runs == 3
+
+
+def test_simulate_paxos_never_gates_on_safety():
+    system = api.resolve_system(builtin="minority-5")
+    report = api.simulate(system, protocol="paxos", ops=1, seed=0)
+    assert report.gates_on_safety is False
+    assert report.exit_ok is True
+    assert report.safety_label(False) == "baseline (no safety check applied)"
+
+
+def test_simulate_rejects_unknown_pattern_and_protocol():
+    system = api.resolve_system(builtin="figure1")
+    with pytest.raises(ReproError, match="unknown pattern 'nope'"):
+        api.simulate(system, pattern="nope")
+    with pytest.raises(ReproError, match="unknown protocol kind 'registr'.*did you mean 'register'"):
+        api.simulate(system, protocol="registr")
+
+
+def test_simulate_intolerable_system_raises_typed_error():
+    system = api.resolve_system(builtin="figure1-modified")
+    with pytest.raises(NoQuorumSystemExistsError, match="nothing to simulate"):
+        api.simulate(system)
+
+
+# ---------------------------------------------------------------------- #
+# scenarios
+# ---------------------------------------------------------------------- #
+def test_run_scenario_accepts_name_or_spec():
+    by_name = api.run_scenario("unidirectional-ring", runs=2, seed=7)
+    by_spec = api.run_scenario(get_scenario("unidirectional-ring"), runs=2, seed=7)
+    assert by_name.to_dict() == by_spec.to_dict()
+
+
+def test_run_scenario_unknown_name_gets_registry_error():
+    with pytest.raises(ReproError, match="unknown scenario 'ringg'"):
+        api.run_scenario("ringg")
+
+
+def test_sweep_scenarios_subset():
+    results = api.sweep_scenarios(["unidirectional-ring"], runs=1, seed=7)
+    assert [r.scenario.name for r in results] == ["unidirectional-ring"]
+    assert results[0].ok
+
+
+# ---------------------------------------------------------------------- #
+# Monte Carlo sweep and trace checking
+# ---------------------------------------------------------------------- #
+def test_sweep_kinds_and_validation():
+    outcome = api.sweep(kind="admissibility", probs=(0.0,), n=4, patterns=2, samples=4, seed=1)
+    assert outcome.admissibility is not None
+    assert outcome.reliability is None
+    assert "generalized (GQS)" in outcome.admissibility_text()
+    with pytest.raises(ReproError, match="unknown sweep kind 'both'"):
+        api.sweep(kind="both")
+
+
+def test_check_traces_round_trip(tmp_path):
+    directory = str(tmp_path / "traces")
+    api.run_scenario("unidirectional-ring", runs=2, seed=7, record_traces=directory)
+    report = api.check_traces(directory)
+    assert report.ok
+    assert report.traces == 2
+    with pytest.raises(ReproError, match="unknown checker 'wing-gog'.*did you mean 'wing-gong'"):
+        api.check_traces(directory, checker="wing-gog")
+
+
+def test_run_examples_all_hold():
+    outcomes = api.run_examples()
+    assert len(outcomes) == 6
+    assert all(outcome.holds for outcome in outcomes)
+
+
+def test_protocol_safety_label_dispatch():
+    assert api.protocol_safety_label("register", True) == "linearizable=True"
+    assert api.protocol_safety_label("consensus", False) == "agreement+validity+termination=False"
+    with pytest.raises(ReproError, match="unknown protocol kind"):
+        api.protocol_safety_label("nope", True)

@@ -64,7 +64,7 @@ def test_simulate_consensus_failure_free(capsys):
 def test_simulate_unknown_pattern(capsys):
     status = main(["simulate", "--builtin", "figure1", "--pattern", "nope"])
     assert status == 1
-    assert "unknown pattern" in capsys.readouterr().out
+    assert "unknown pattern" in capsys.readouterr().err
 
 
 def test_simulate_on_intolerable_system(capsys):

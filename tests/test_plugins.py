@@ -1,0 +1,215 @@
+"""End-to-end plugin loading: a third-party module registers a protocol,
+topology, delay model and scenario without touching any core module.
+
+The subject is ``examples/plugins/demo_plugin.py`` — the worked example from
+``docs/extending.md``.  All loading happens in subprocesses so the global
+registries of this test process stay pristine (the catalogue-consistency
+tests elsewhere depend on the built-in registry contents).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PLUGIN_DIR = os.path.join(REPO_ROOT, "examples", "plugins")
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+
+def _run(args, **extra_env):
+    env = dict(os.environ)
+    paths = [SRC_DIR, PLUGIN_DIR]
+    if env.get("PYTHONPATH"):
+        paths.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(paths)
+    env.update(extra_env)
+    return subprocess.run(
+        [sys.executable, "-m", "repro"] + args,
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_plugins_list_reports_contributions_via_flag():
+    result = _run(["--plugin", "demo_plugin", "plugins", "list", "--format", "json"])
+    assert result.returncode == 0, result.stderr
+    payload = json.loads(result.stdout)
+    assert payload == [
+        {
+            "module": "demo_plugin",
+            "contributions": [
+                {"kind": "protocol", "name": "chatty-register"},
+                {"kind": "topology", "name": "relay-triangle"},
+                {"kind": "delay-model", "name": "relay-jitter"},
+                {"kind": "scenario", "name": "relay-audit"},
+            ],
+        }
+    ]
+
+
+def test_plugins_list_via_environment_variable():
+    result = _run(["plugins", "list"], REPRO_PLUGINS="demo_plugin")
+    assert result.returncode == 0, result.stderr
+    assert "demo_plugin" in result.stdout
+    assert "chatty-register" in result.stdout
+
+
+def test_plugins_list_empty_without_plugins():
+    result = _run(["plugins", "list"])
+    assert result.returncode == 0, result.stderr
+    assert result.stdout == (
+        "no plugins loaded (use --plugin MODULE or REPRO_PLUGINS=mod1,mod2)\n"
+    )
+
+
+def test_plugin_scenario_runs_end_to_end_with_sharding_and_replay(tmp_path):
+    """The acceptance flow: scenario run (jobs-independent), record, check."""
+    traces = str(tmp_path / "relay-traces")
+    serial = _run(
+        ["scenario", "run", "relay-audit", "--seed", "5", "--jobs", "1"],
+        REPRO_PLUGINS="demo_plugin",
+    )
+    assert serial.returncode == 0, serial.stderr
+    parallel = _run(
+        [
+            "--plugin", "demo_plugin",
+            "scenario", "run", "relay-audit", "--seed", "5", "--jobs", "2",
+            "--record-traces", traces,
+        ]
+    )
+    assert parallel.returncode == 0, parallel.stderr
+    assert serial.stdout == parallel.stdout  # engine sharding stays deterministic
+
+    check = _run(["check", traces], REPRO_PLUGINS="demo_plugin")
+    assert check.returncode == 0, check.stderr
+    assert "chatty-register" in check.stdout
+    assert "demo-witness-first" in check.stdout
+    assert "match recorded     : True (2/2)" in check.stdout
+
+
+def test_plugin_topology_and_protocol_in_simulate():
+    result = _run(
+        [
+            "simulate",
+            "--builtin", "relay-triangle",
+            "--object", "chatty-register",
+            "--pattern", "ra-down",
+            "--ops", "1",
+        ],
+        REPRO_PLUGINS="demo_plugin",
+    )
+    assert result.returncode == 0, result.stderr
+    assert "object            : chatty-register" in result.stdout
+    assert "linearizable=True" in result.stdout
+
+
+def test_plugin_scenario_appears_in_catalogue_listing():
+    result = _run(["--plugin", "demo_plugin", "scenario", "list"])
+    assert result.returncode == 0, result.stderr
+    assert "relay-audit" in result.stdout
+    # The built-in catalogue is untouched when no plugin is loaded.
+    bare = _run(["scenario", "list"])
+    assert "relay-audit" not in bare.stdout
+
+
+def test_unknown_plugin_module_fails_loudly():
+    result = _run(["--plugin", "no_such_plugin_module", "plugins", "list"])
+    assert result.returncode == 1
+    assert result.stderr.startswith(
+        "error: plugin 'no_such_plugin_module' failed to import: ModuleNotFoundError:"
+    )
+
+
+def _run_script(script, tmp_path, **extra_env):
+    env = dict(os.environ)
+    paths = [SRC_DIR, PLUGIN_DIR, str(tmp_path)]
+    if env.get("PYTHONPATH"):
+        paths.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(paths)
+    env.update(extra_env)
+    path = tmp_path / "script.py"
+    path.write_text(script)
+    return subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True, env=env, cwd=REPO_ROOT
+    )
+
+
+def test_plugins_reach_spawn_started_engine_workers(tmp_path):
+    """Spawn workers re-import repro from scratch (macOS/Windows default);
+    the pool initializer must re-load REPRO_PLUGINS there."""
+    script = """
+import multiprocessing
+
+
+def probe(_):
+    from repro.registry import PROTOCOLS
+    return "chatty-register" in PROTOCOLS
+
+
+if __name__ == "__main__":
+    import os
+    os.environ["REPRO_PLUGINS"] = "demo_plugin"
+    from repro.engine import ParallelRunner
+    from repro.registry import load_env_plugins
+    load_env_plugins()
+    runner = ParallelRunner(jobs=2, mp_context=multiprocessing.get_context("spawn"))
+    results = runner.map(probe, [1, 2])
+    assert runner.last_mode == "parallel", runner.last_mode
+    assert results == [True, True], results
+    print("SPAWN-OK")
+"""
+    result = _run_script(script, tmp_path)
+    assert result.returncode == 0, result.stderr
+    assert "SPAWN-OK" in result.stdout
+
+
+def test_cli_mirrors_plugin_flag_into_environment(tmp_path):
+    """--plugin modules are exported via REPRO_PLUGINS so spawn workers see them."""
+    script = """
+import os
+from repro.cli import main
+
+assert main(["--plugin", "demo_plugin", "plugins", "list"]) == 0
+assert os.environ.get("REPRO_PLUGINS") == "demo_plugin", os.environ.get("REPRO_PLUGINS")
+print("MIRROR-OK")
+"""
+    result = _run_script(script, tmp_path)
+    assert result.returncode == 0, result.stderr
+    assert "MIRROR-OK" in result.stdout
+
+
+def test_failed_plugin_import_rolls_back_partial_registrations(tmp_path):
+    """A plugin that raises after registering must leave no trace behind and
+    stay retryable once fixed."""
+    (tmp_path / "broken_plugin.py").write_text(
+        "from repro.failures import FailProneSystem, FailurePattern\n"
+        "from repro.registry import register_topology\n"
+        "register_topology('broken-topo', builder=lambda name=None: None)\n"
+        "raise RuntimeError('boom after registering')\n"
+    )
+    script = """
+import pytest  # noqa: F401 - not used, keeps import style uniform
+from repro.errors import ReproError
+from repro.registry import TOPOLOGIES, load_plugin, loaded_plugins
+
+try:
+    load_plugin("broken_plugin")
+except ReproError as error:
+    assert "failed to import" in str(error), error
+else:
+    raise AssertionError("expected the plugin load to fail")
+assert "broken-topo" not in TOPOLOGIES          # rolled back
+assert loaded_plugins() == []                   # not recorded as loaded
+try:
+    load_plugin("broken_plugin")                # retry hits the same clean error,
+except ReproError:                              # not "already registered"
+    pass
+assert "broken-topo" not in TOPOLOGIES
+print("ROLLBACK-OK")
+"""
+    result = _run_script(script, tmp_path)
+    assert result.returncode == 0, result.stderr
+    assert "ROLLBACK-OK" in result.stdout
