@@ -1,11 +1,34 @@
-"""Shared fixtures for the benchmark harness (experiments E1-E8 of DESIGN.md)."""
+"""Shared fixtures for the benchmark harness (experiments E1-E8 of DESIGN.md).
+
+Besides the fixtures, this conftest gives the harness a memory: every
+``bench_once`` timing — and any counter a test attaches via the
+``bench_numbers`` fixture — is collected into a session-wide snapshot, and
+when ``REPRO_BENCH_DIR`` is set the snapshot is written there as
+``BENCH_<python>-<platform>.json`` (canonical JSON, atomic rename).  Without
+the environment variable nothing is persisted, so local runs stay clean; CI
+sets it and uploads the snapshot as an artifact, turning the benchmark
+numbers from ephemeral terminal output into comparable records.  A seed
+snapshot (``BENCH_seed.json``) is committed alongside as the first point of
+the series.
+"""
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
 
 import pytest
 
 from repro.analysis import figure1_quorum_system
 from repro.quorums import GeneralizedQuorumSystem
+
+#: Bumped whenever the snapshot layout changes.
+BENCH_SNAPSHOT_SCHEMA = 1
+
+#: Session-wide accumulator: test name -> {metric: value}.
+_RESULTS = {}
 
 
 @pytest.fixture(scope="session")
@@ -14,6 +37,55 @@ def figure1_gqs() -> GeneralizedQuorumSystem:
     return figure1_quorum_system()
 
 
+def record_bench_numbers(name, **numbers):
+    """Attach counters (explored states, nodes, scores...) to a snapshot entry."""
+    entry = _RESULTS.setdefault(name, {})
+    for key, value in numbers.items():
+        entry[key] = value
+
+
+@pytest.fixture
+def bench_numbers(request):
+    """Record named counters under the calling test's snapshot entry."""
+
+    def record(**numbers):
+        record_bench_numbers(request.node.name, **numbers)
+
+    return record
+
+
 def bench_once(benchmark, func, *args, **kwargs):
     """Run a (possibly slow) experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        record_bench_numbers(benchmark.name, seconds=round(stats.stats.mean, 6))
+    return result
+
+
+def _snapshot_path(directory):
+    label = "py{}-{}".format(platform.python_version(), sys.platform)
+    return os.path.join(directory, "BENCH_{}.json".format(label))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the collected numbers when REPRO_BENCH_DIR asks for it."""
+    directory = os.environ.get("REPRO_BENCH_DIR")
+    if not directory or not _RESULTS:
+        return
+    snapshot = {
+        "schema": BENCH_SNAPSHOT_SCHEMA,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "exit_status": int(exitstatus),
+        "results": {
+            name: dict(sorted(entry.items())) for name, entry in sorted(_RESULTS.items())
+        },
+    }
+    os.makedirs(directory, exist_ok=True)
+    path = _snapshot_path(directory)
+    partial = "{}.tmp".format(path)
+    with open(partial, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    os.replace(partial, path)

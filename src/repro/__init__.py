@@ -23,6 +23,10 @@ everything the PODC 2025 paper describes:
 * a JSONL trace store and parallel replay-verification — record every run's
   history and safety evidence, re-check it later with any checker and any
   worker count (:mod:`repro.traces`);
+* a guided nemesis that *searches* for the adversary's best case instead of
+  sampling it — deterministic schedule mutation over recorded runs, fitness
+  by badness, incident reports cross-checked against the fail-prone budget
+  (:mod:`repro.nemesis`);
 * a central typed extension registry with plugin loading — protocols,
   topologies, delay models, checkers and scenarios all plug in without core
   edits (:mod:`repro.registry`) — and a high-level facade exposing one typed
@@ -49,6 +53,7 @@ from . import (  # noqa: E402
     failures,
     graph,
     montecarlo,
+    nemesis,
     protocols,
     quorums,
     scenarios,

@@ -16,6 +16,9 @@ is nothing but argument parsing plus printing on top of this module:
   catalogue, by name or spec;
 * :func:`sweep` — the Monte Carlo admissibility/reliability studies;
 * :func:`check_traces` — parallel re-verification of recorded traces;
+* :func:`hunt` / :func:`replay_schedule` / :func:`nemesis_corpus` — the
+  guided nemesis: search a scenario's schedule space for badness, replay a
+  persisted schedule against its incident record, summarise a corpus;
 * :func:`run_examples` — the paper's worked examples.
 
 All of it dispatches through :mod:`repro.registry`, so plugin-registered
@@ -39,6 +42,16 @@ from .engine import ParallelRunner, ProgressCallback, spawn_seeds
 from .errors import NoQuorumSystemExistsError, ReproError
 from .experiments import run_workload, safety_report
 from .failures import FailProneSystem, FailurePattern, builtin_fail_prone_system
+from .nemesis import (
+    DEFAULT_BATCH,
+    DEFAULT_BUDGET,
+    DEFAULT_SEED_SCHEDULES,
+    HuntReport,
+)
+from .nemesis import corpus_rows as _nemesis_corpus_rows
+from .nemesis import corpus_table as _nemesis_corpus_table
+from .nemesis import hunt_scenario as _hunt_scenario
+from .nemesis import replay_schedule_file as _replay_schedule_file
 from .montecarlo import (
     AdmissibilityPoint,
     ReliabilityEstimate,
@@ -72,6 +85,7 @@ from .types import sorted_channels, sorted_processes
 __all__ = [
     "ClassifyReport",
     "DiscoveryReport",
+    "HuntReport",
     "MonteCarloSweep",
     "RepairOutcome",
     "SimulateReport",
@@ -79,9 +93,12 @@ __all__ = [
     "classify",
     "discover",
     "discovery_report",
+    "hunt",
+    "nemesis_corpus",
     "plugin_rows",
     "protocol_safety_label",
     "repair",
+    "replay_schedule",
     "resolve_system",
     "run_examples",
     "run_scenario",
@@ -524,6 +541,65 @@ def sweep(
             progress=progress_factory("reliability") if progress_factory else None,
         )
     return outcome
+
+
+# ---------------------------------------------------------------------- #
+# Guided nemesis (``repro nemesis hunt|replay|corpus``)
+# ---------------------------------------------------------------------- #
+def hunt(
+    scenario: Union[str, ScenarioSpec],
+    strategy: str = "hill-climb",
+    budget: int = DEFAULT_BUDGET,
+    seeds: int = DEFAULT_SEED_SCHEDULES,
+    batch: int = DEFAULT_BATCH,
+    seed: int = 0,
+    jobs: int = 1,
+    corpus_dir: Optional[str] = None,
+    from_traces: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> HuntReport:
+    """Search ``scenario``'s schedule space for the adversary's best case.
+
+    Seed schedules replay the scenario's own recorded runs (or, with
+    ``from_traces``, runs from an existing trace directory); ``budget``
+    mutants are then derived, evaluated over ``jobs`` workers and admitted
+    by ``strategy`` (a ``nemesis`` registry name).  With ``corpus_dir``
+    every survivor is persisted as an ordinary trace plus a schedule file
+    and an incident report.  The report and corpus bytes depend only on
+    ``(scenario, strategy, budget, seeds, batch, seed)``, never on ``jobs``.
+    """
+    return _hunt_scenario(
+        scenario,
+        strategy=strategy,
+        budget=budget,
+        seeds=seeds,
+        batch=batch,
+        seed=seed,
+        jobs=jobs,
+        corpus_dir=corpus_dir,
+        from_traces=from_traces,
+        progress=progress,
+    )
+
+
+def replay_schedule(path: str) -> Dict[str, Any]:
+    """Re-evaluate one persisted ``*.schedule.json`` from scratch.
+
+    Returns the fresh verdict row and fitness; when a sibling incident
+    report exists, ``"match"`` says whether the replay reproduced the
+    hunt-time verdict exactly (``None`` when there is nothing to compare).
+    """
+    return _replay_schedule_file(path)
+
+
+def nemesis_corpus(directory: str) -> List[Dict[str, Any]]:
+    """One summary row per incident report in a hunt corpus directory."""
+    return _nemesis_corpus_rows(directory)
+
+
+def nemesis_corpus_table(directory: str) -> ResultTable:
+    """The ``repro nemesis corpus`` table."""
+    return _nemesis_corpus_table(directory)
 
 
 # ---------------------------------------------------------------------- #

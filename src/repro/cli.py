@@ -7,7 +7,7 @@ the plugin tables are generated from the extension registries
 (:mod:`repro.registry`), so plugin-registered protocols, topologies, delay
 models, checkers and scenarios are first-class citizens of every command.
 
-Seven commands cover the workflows a practitioner needs:
+Eight commands cover the workflows a practitioner needs:
 
 ``quorums``
     The quorum-decision toolbox: ``discover`` runs the GQS decision procedure
@@ -49,6 +49,17 @@ Seven commands cover the workflows a practitioner needs:
     ``sweep`` many scenarios over one worker pool — all with table or JSON
     output, and all jobs-independent like ``sweep``.
 
+``nemesis``
+    The guided nemesis (:mod:`repro.nemesis`): ``hunt`` searches a
+    scenario's schedule space — failure-pattern choice, injection timing,
+    per-channel delays — for the adversary's best case with a registered
+    search strategy (``random``, ``hill-climb``, ``coverage-guided`` or a
+    plugin), persisting survivors as ordinary traces plus schedule files and
+    incident reports; ``replay`` re-evaluates one persisted schedule from
+    scratch and diffs it against its incident record; ``corpus`` summarises
+    a hunt's incident reports.  Hunts are byte-identical for every ``--jobs``
+    count and hash seed.
+
 ``plugins``
     Inspect the plugin loader: ``list`` the modules loaded via ``--plugin``
     or ``REPRO_PLUGINS`` and the extensions each registered.
@@ -80,6 +91,7 @@ from .errors import NoQuorumSystemExistsError, ReproError
 from .quorums import DISCOVERY_ALGORITHMS
 from .registry import (
     CHECKERS,
+    NEMESIS,
     PLUGINS_ENV_VAR,
     PROTOCOLS,
     load_env_plugins,
@@ -450,6 +462,85 @@ def cmd_scenario_sweep(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# nemesis
+# ---------------------------------------------------------------------- #
+def cmd_nemesis_hunt(args: argparse.Namespace) -> int:
+    report = api.hunt(
+        args.scenario,
+        strategy=args.strategy,
+        budget=args.budget,
+        seeds=args.seeds,
+        batch=args.batch,
+        seed=args.seed,
+        jobs=args.jobs,
+        corpus_dir=args.corpus,
+        from_traces=args.from_traces,
+        progress=functools.partial(_stderr_progress, "hunt") if args.progress else None,
+    )
+    # A within-budget safety violation is the only failing outcome: the
+    # adversary stayed inside the declared fail-prone system and still broke
+    # safety, which falsifies the paper's bound.
+    status = 1 if report.found_violation else 0
+    if args.format == "json":
+        print(report.to_json())
+        return status
+    print(report.table().to_text())
+    print()
+    summary = report.summary()
+    print("evaluations        : {} ({} seed + {} mutant)".format(
+        summary["evaluations"], report.seed_schedules, report.budget
+    ))
+    print("admitted           :", summary["admitted"])
+    print("baseline score     :", summary["baseline_score"])
+    print(
+        "best score         : {} (candidate {}, improved={})".format(
+            summary["best_score"], summary["best_candidate"], summary["improved"]
+        )
+    )
+    print("stalls             :", summary["stalls"])
+    print("violations         : {} (within the fail-prone budget)".format(summary["violations"]))
+    if report.corpus_dir is not None:
+        print("corpus             : {} survivor(s) in {}".format(
+            len(report.corpus), report.corpus_dir
+        ))
+    return status
+
+
+def cmd_nemesis_replay(args: argparse.Namespace) -> int:
+    outcome = api.replay_schedule(args.schedule)
+    # Only a demonstrated divergence from the recorded incident fails the
+    # replay; a schedule without a sibling incident has nothing to diff.
+    status = 1 if outcome["match"] is False else 0
+    if args.format == "json":
+        print(json.dumps(outcome, indent=2, sort_keys=True))
+        return status
+    row = outcome["row"]
+    print("schedule          :", outcome["schedule"])
+    print("scenario          :", outcome["scenario"])
+    print("lineage           :", " | ".join(outcome["lineage"]) or "(identity)")
+    print("completed         :", row["completed"])
+    print("safe              :", row["safe"])
+    print("explored states   :", row["explored_states"])
+    print("score             :", outcome["fitness"]["score"])
+    print("within budget     :", outcome["within_budget"])
+    if outcome["recorded"] is None:
+        print("incident          : none on disk (nothing to compare)")
+    else:
+        print("matches incident  :", outcome["match"])
+    return status
+
+
+def cmd_nemesis_corpus(args: argparse.Namespace) -> int:
+    rows = api.nemesis_corpus(args.directory)
+    if args.format == "json":
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(api.nemesis_corpus_table(args.directory).to_text())
+    violations = sum(1 for row in rows if "violation" in row["flags"].split(","))
+    return 1 if violations else 0
+
+
+# ---------------------------------------------------------------------- #
 # plugins
 # ---------------------------------------------------------------------- #
 def cmd_plugins_list(args: argparse.Namespace) -> int:
@@ -730,6 +821,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist every run of every scenario into DIR for later 'repro check DIR'",
     )
     scenario_sweep.set_defaults(func=cmd_scenario_sweep)
+
+    nemesis = sub.add_parser(
+        "nemesis",
+        help="guided adversarial schedule search: hunt, replay, corpus",
+    )
+    nemesis_sub = nemesis.add_subparsers(dest="nemesis_command", required=True)
+
+    nemesis_hunt = nemesis_sub.add_parser(
+        "hunt",
+        help="search a scenario's schedule space for badness "
+        "(exit 1 only on a within-budget safety violation)",
+    )
+    nemesis_hunt.add_argument("scenario", help="registered scenario name")
+    nemesis_hunt.add_argument(
+        "--strategy",
+        choices=list(NEMESIS),
+        default="hill-climb",
+        help="registered search strategy (plugins extend this list; default hill-climb)",
+    )
+    nemesis_hunt.add_argument(
+        "--budget",
+        type=_runs_value,
+        default=32,
+        help="mutant evaluations to spend (default 32; seed baselines come on top)",
+    )
+    nemesis_hunt.add_argument(
+        "--seeds",
+        type=_runs_value,
+        default=2,
+        help="identity schedules seeding the corpus (default 2); "
+        "each replays one run of 'repro scenario run --seed SEED'",
+    )
+    nemesis_hunt.add_argument(
+        "--batch",
+        type=_runs_value,
+        default=4,
+        help="candidates per generation (default 4); fixed independently of --jobs "
+        "so the search trajectory never depends on the worker count",
+    )
+    nemesis_hunt.add_argument("--seed", type=int, default=0)
+    nemesis_hunt.add_argument(
+        "--jobs",
+        type=_jobs_value,
+        default=1,
+        help="worker processes evaluating each batch (1 = serial, 0 = one per CPU); "
+        "report and corpus are byte-identical for every value",
+    )
+    nemesis_hunt.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="persist survivors into DIR as traces + schedules + incident reports "
+        "plus a report.json; the directory re-verifies with 'repro check DIR'",
+    )
+    nemesis_hunt.add_argument(
+        "--from-traces",
+        metavar="DIR",
+        default=None,
+        help="seed the hunt from the runs recorded in an existing trace directory "
+        "instead of the scenario's own seed stream",
+    )
+    nemesis_hunt.add_argument("--format", choices=["table", "json"], default="table")
+    nemesis_hunt.add_argument(
+        "--progress", action="store_true", help="report per-batch progress on stderr"
+    )
+    nemesis_hunt.set_defaults(func=cmd_nemesis_hunt)
+
+    nemesis_replay = nemesis_sub.add_parser(
+        "replay",
+        help="re-evaluate one persisted *.schedule.json from scratch and diff it "
+        "against its sibling incident report (exit 1 on divergence)",
+    )
+    nemesis_replay.add_argument("schedule", help="path to a *.schedule.json file")
+    nemesis_replay.add_argument("--format", choices=["text", "json"], default="text")
+    nemesis_replay.set_defaults(func=cmd_nemesis_replay)
+
+    nemesis_corpus = nemesis_sub.add_parser(
+        "corpus",
+        help="summarise a hunt corpus directory's incident reports "
+        "(exit 1 if any records a within-budget violation)",
+    )
+    nemesis_corpus.add_argument("directory", help="hunt corpus directory")
+    nemesis_corpus.add_argument("--format", choices=["table", "json"], default="table")
+    nemesis_corpus.set_defaults(func=cmd_nemesis_corpus)
 
     plugins = sub.add_parser(
         "plugins", help="inspect loaded plugin modules and their registered extensions"

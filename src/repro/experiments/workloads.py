@@ -28,9 +28,11 @@ from ..analysis.metrics import OperationMetrics
 from ..checkers import (
     check_consensus,
     check_lattice_agreement,
+    check_register_linearizability,
     check_register_witness_first,
     check_snapshot_linearizability,
 )
+from ..errors import HistoryError
 from ..failures import FailurePattern
 from ..history import History
 from ..protocols import (
@@ -212,6 +214,38 @@ def judge_register_history(
     }
 
 
+#: State cap of :func:`register_search_effort`'s complete search.  The probe
+#: saturates here instead of raising, so a history gnarly enough to exhaust
+#: the search scores maximal badness deterministically.
+EFFORT_PROBE_MAX_STATES = 50_000
+
+
+def register_search_effort(
+    history: History,
+    quorum_system: GeneralizedQuorumSystem,
+    pattern: Optional[FailurePattern],
+) -> int:
+    """Verification-effort badness signal of a register history.
+
+    The witness-first judge decides in polynomial time, so its
+    ``explored_states`` is just the complete-operation count — constant over
+    every schedule of a workload, useless as a search gradient.  This probe
+    runs the *complete* Wing–Gong search instead: its state count grows with
+    the genuine concurrency structure of the history (overlapping operations
+    multiply the linearization orders the search must consider), which is
+    exactly the badness the nemesis maximizes.  Saturates at
+    :data:`EFFORT_PROBE_MAX_STATES`.
+    """
+    del quorum_system, pattern  # effort depends only on the history
+    try:
+        outcome = check_register_linearizability(
+            history, initial_value=0, max_states=EFFORT_PROBE_MAX_STATES
+        )
+    except HistoryError:
+        return EFFORT_PROBE_MAX_STATES
+    return outcome.explored_states
+
+
 def judge_snapshot_history(
     history: History,
     quorum_system: GeneralizedQuorumSystem,
@@ -290,6 +324,7 @@ register_protocol(
     params=("classical", "push_interval", "relay"),
     default_delay=_uniform_default_delay,
     safety_label="linearizable={}".format,
+    effort_probe=register_search_effort,
     repeat_ops=True,
     doc="the ABD-like MWMR atomic register over GQS access functions (Figure 4)",
 )

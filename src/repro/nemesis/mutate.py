@@ -1,0 +1,187 @@
+"""Deterministic schedule mutators.
+
+One mutation step takes a parent :class:`~repro.nemesis.schedule.Schedule`
+and a derived seed and produces a child differing by exactly one operator:
+
+``stretch-channel``
+    Multiply one directed channel's delay factor by a value from
+    :data:`STRETCH_FACTORS` (starve or race the channel), clamped to
+    ``[1/MAX_STRETCH, MAX_STRETCH]``.
+``nudge-delivery``
+    Add extra latency to the *i*-th message on one channel, swapping its
+    delivery order with later traffic — the classic message-reordering move.
+``move-injection``
+    Shift the failure-injection tick by a value from
+    :data:`INJECTION_SHIFTS` (only available when a pattern is injected).
+``swap-pattern``
+    Replace the injected failure pattern by a *sibling* from the declared
+    fail-prone system (or drop it).  Because candidates come from the
+    declared patterns only, hunts never leave the fail-prone budget — the
+    paper's adversary may pick any declared pattern, but only declared ones.
+
+All randomness flows through one ``random.Random`` seeded by the caller with
+:func:`repro.engine.derive_seed`, and every candidate set is sorted before
+drawing, so a mutation is a pure function of ``(parent, declared, seed)`` —
+independent of hash seeds, job counts and platform.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..failures import FailurePattern
+from ..types import ProcessId, sorted_processes
+from .schedule import Schedule
+
+__all__ = [
+    "INJECTION_SHIFTS",
+    "MAX_STRETCH",
+    "MUTATION_OPERATORS",
+    "NUDGE_EXTRAS",
+    "NUDGE_INDEX_RANGE",
+    "STRETCH_FACTORS",
+    "mutate_schedule",
+]
+
+#: Multiplicative steps of ``stretch-channel`` (both directions: starve/race).
+STRETCH_FACTORS = (0.25, 0.5, 2.0, 4.0)
+
+#: Hard clamp on a channel's accumulated stretch factor.
+MAX_STRETCH = 64.0
+
+#: Extra latencies of ``nudge-delivery`` (enough to leapfrog several sends).
+NUDGE_EXTRAS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+#: Per-channel send indices a nudge may target.
+NUDGE_INDEX_RANGE = 32
+
+#: Injection-tick shifts of ``move-injection``.
+INJECTION_SHIFTS = (-16.0, -8.0, -4.0, -2.0, 2.0, 4.0, 8.0, 16.0)
+
+#: All operator names, in the order they are considered.
+MUTATION_OPERATORS = (
+    "stretch-channel",
+    "nudge-delivery",
+    "move-injection",
+    "swap-pattern",
+)
+
+
+def _channels(processes: Sequence[ProcessId]) -> List[Tuple[ProcessId, ProcessId]]:
+    """All directed non-self channels, in sorted-process order."""
+    ordered = sorted_processes(processes)
+    return [(src, dst) for src in ordered for dst in ordered if src != dst]
+
+
+def _stretch_channel(schedule: Schedule, channels, rng: random.Random) -> Schedule:
+    src, dst = channels[rng.randrange(len(channels))]
+    current = dict(((s, d), f) for s, d, f in schedule.stretches)
+    factor = current.get((src, dst), 1.0) * rng.choice(STRETCH_FACTORS)
+    factor = min(max(factor, 1.0 / MAX_STRETCH), MAX_STRETCH)
+    current[(src, dst)] = factor
+    stretches = tuple(
+        (s, d, current[(s, d)])
+        for s, d in sorted(current, key=lambda channel: (str(channel[0]), str(channel[1])))
+    )
+    tag = "stretch {}->{} x{:g}".format(src, dst, factor)
+    return Schedule(
+        base=schedule.base,
+        seed=schedule.seed,
+        pattern=schedule.pattern,
+        inject_at=schedule.inject_at,
+        stretches=stretches,
+        nudges=schedule.nudges,
+        lineage=schedule.lineage + (tag,),
+    )
+
+
+def _nudge_delivery(schedule: Schedule, channels, rng: random.Random) -> Schedule:
+    src, dst = channels[rng.randrange(len(channels))]
+    index = rng.randrange(NUDGE_INDEX_RANGE)
+    extra = rng.choice(NUDGE_EXTRAS)
+    current = dict((((s, d), i), e) for s, d, i, e in schedule.nudges)
+    current[((src, dst), index)] = current.get(((src, dst), index), 0.0) + extra
+    nudges = tuple(
+        (channel[0], channel[1], i, current[(channel, i)])
+        for channel, i in sorted(
+            current, key=lambda key: (str(key[0][0]), str(key[0][1]), key[1])
+        )
+    )
+    tag = "nudge {}->{}#{} +{:g}".format(src, dst, index, extra)
+    return Schedule(
+        base=schedule.base,
+        seed=schedule.seed,
+        pattern=schedule.pattern,
+        inject_at=schedule.inject_at,
+        stretches=schedule.stretches,
+        nudges=nudges,
+        lineage=schedule.lineage + (tag,),
+    )
+
+
+def _move_injection(schedule: Schedule, rng: random.Random) -> Schedule:
+    current = schedule.inject_at if schedule.inject_at is not None else 0.0
+    moved = max(0.0, current + rng.choice(INJECTION_SHIFTS))
+    tag = "inject @{:g}".format(moved)
+    return Schedule(
+        base=schedule.base,
+        seed=schedule.seed,
+        pattern=schedule.pattern,
+        inject_at=moved,
+        stretches=schedule.stretches,
+        nudges=schedule.nudges,
+        lineage=schedule.lineage + (tag,),
+    )
+
+
+def _swap_pattern(
+    schedule: Schedule, siblings: Sequence[Optional[str]], rng: random.Random
+) -> Schedule:
+    choice = siblings[rng.randrange(len(siblings))]
+    # Dropping the pattern also drops its injection tick; a fresh pattern
+    # injects at time zero until move-injection says otherwise.
+    tag = "pattern {}->{}".format(schedule.pattern, choice)
+    return Schedule(
+        base=schedule.base,
+        seed=schedule.seed,
+        pattern=choice,
+        inject_at=None,
+        stretches=schedule.stretches,
+        nudges=schedule.nudges,
+        lineage=schedule.lineage + (tag,),
+    )
+
+
+def mutate_schedule(
+    schedule: Schedule,
+    processes: Sequence[ProcessId],
+    declared: Sequence[FailurePattern],
+    seed: int,
+) -> Schedule:
+    """Apply one deterministic mutation operator to ``schedule``.
+
+    ``processes`` is the system's process set (the channel universe) and
+    ``declared`` its fail-prone pattern tuple (the ``swap-pattern``
+    candidates).  The operator and its operands are drawn from
+    ``random.Random(seed)`` over sorted candidate sets.
+    """
+    rng = random.Random(seed)
+    channels = _channels(processes)
+    operators: List[str] = ["stretch-channel", "nudge-delivery"]
+    if schedule.pattern is not None:
+        operators.append("move-injection")
+    named = sorted(f.name for f in declared if f.name is not None)
+    siblings: List[Optional[str]] = [name for name in named if name != schedule.pattern]
+    if schedule.pattern is not None:
+        siblings.append(None)
+    if siblings:
+        operators.append("swap-pattern")
+    operator = operators[rng.randrange(len(operators))]
+    if operator == "stretch-channel":
+        return _stretch_channel(schedule, channels, rng)
+    if operator == "nudge-delivery":
+        return _nudge_delivery(schedule, channels, rng)
+    if operator == "move-injection":
+        return _move_injection(schedule, rng)
+    return _swap_pattern(schedule, siblings, rng)

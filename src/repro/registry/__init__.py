@@ -1,6 +1,6 @@
 """Central extension registry: one typed mechanism for every dispatch family.
 
-Five registries cover the reproduction's extensible axes.  Each maps names to
+Six registries cover the reproduction's extensible axes.  Each maps names to
 :class:`~repro.registry.core.Descriptor` records with deterministic iteration
 order (builtins in catalogue order, then plugins in load order) and rich
 "unknown name, did you mean…" errors:
@@ -13,6 +13,7 @@ registry           builder signature                   registered by
 :data:`DELAY_MODELS` ``(seed, **params) → DelayModel``    :mod:`repro.sim.delays`
 :data:`CHECKERS`   ``(trace) → verdict row``              :mod:`repro.traces.check`
 :data:`SCENARIOS`  ``() → ScenarioSpec``                  :mod:`repro.scenarios.registry`
+:data:`NEMESIS`    ``(**params) → NemesisStrategy``       :mod:`repro.nemesis.strategies`
 =================  ==================================  =========================
 
 Third-party code extends any of them through the ``register_*`` functions
@@ -49,6 +50,7 @@ __all__ = [
     "CHECKERS",
     "DELAY_MODELS",
     "Descriptor",
+    "NEMESIS",
     "PLUGINS_ENV_VAR",
     "PROTOCOLS",
     "Registry",
@@ -62,6 +64,7 @@ __all__ = [
     "plugin_contributions",
     "register_checker",
     "register_delay_model",
+    "register_nemesis_strategy",
     "register_protocol",
     "register_scenario",
     "register_topology",
@@ -83,6 +86,9 @@ CHECKERS = Registry("checker", noun="checker")
 #: The named scenario catalogue (``repro scenario …``).
 SCENARIOS = Registry("scenario", noun="scenario")
 
+#: Adversarial search strategies of ``repro nemesis hunt`` (random, hill-climb, …).
+NEMESIS = Registry("nemesis", noun="nemesis strategy", param_noun="nemesis strategy")
+
 
 # ---------------------------------------------------------------------- #
 # Typed registration helpers (the public plugin surface)
@@ -98,6 +104,7 @@ def register_protocol(
     default_delay: Optional[Callable[[int], Any]] = None,
     safety_label: Optional[Callable[[bool], str]] = None,
     finalize: Optional[Callable[[Any], None]] = None,
+    effort_probe: Optional[Callable[..., int]] = None,
     repeat_ops: bool = False,
     doc: str = "",
     tags: Tuple[str, ...] = (),
@@ -120,6 +127,13 @@ def register_protocol(
     * ``safety_label(verdict)`` → the human-readable CLI verdict line;
     * ``finalize(result)`` → optional post-processing of a finished
       :class:`~repro.experiments.WorkloadResult`;
+    * ``effort_probe(history, quorum_system, pattern)`` → optional badness
+      signal for the nemesis search (:mod:`repro.nemesis`): how much work
+      verifying the history genuinely costs.  Protocols whose ``judge``
+      short-circuits (a witness-first checker) supply a probe running the
+      complete search, so the nemesis optimizes real verification effort
+      rather than a constant; without one the judge's ``explored_states``
+      is used;
     * ``repeat_ops`` → whether ``repro simulate --ops N`` issues ``N``
       operations per process (true for register-like protocols) or one.
 
@@ -145,6 +159,7 @@ def register_protocol(
                 "default_delay": default_delay,
                 "safety_label": safety_label,
                 "finalize": finalize,
+                "effort_probe": effort_probe,
                 "repeat_ops": repeat_ops,
             },
         ),
@@ -232,6 +247,36 @@ def register_checker(
     """
     return CHECKERS.register(
         Descriptor(name=name, kind="checker", builder=judge, doc=doc, tags=tuple(tags)),
+        replace=replace,
+    )
+
+
+def register_nemesis_strategy(
+    name: str,
+    *,
+    builder: Callable[..., Any],
+    params: Tuple[str, ...] = (),
+    doc: str = "",
+    tags: Tuple[str, ...] = (),
+    replace: bool = False,
+) -> Descriptor:
+    """Register an adversarial search strategy for ``repro nemesis hunt``.
+
+    ``builder(**params)`` must return a fresh
+    :class:`repro.nemesis.NemesisStrategy` instance — strategies are stateful
+    per hunt, so the builder is called once per invocation.  The strategy
+    decides which corpus entry each mutant descends from and which evaluated
+    mutants survive; see :mod:`repro.nemesis.strategies` for the contract.
+    """
+    return NEMESIS.register(
+        Descriptor(
+            name=name,
+            kind="nemesis",
+            builder=builder,
+            params=tuple(params),
+            doc=doc,
+            tags=tuple(tags),
+        ),
         replace=replace,
     )
 

@@ -97,7 +97,8 @@ def run_built_scenario(
     run_index: int = 0,
     root_seed: int = 0,
     record_dir: Optional[str] = None,
-) -> Dict[str, Any]:
+    return_result: bool = False,
+) -> Any:
     """Execute one seeded run of an already-materialized scenario.
 
     The engine runner builds the topology and runs GQS discovery once per
@@ -106,6 +107,9 @@ def run_built_scenario(
     Returns a flat, picklable row; with ``record_dir`` set, the run's full
     evidence (history, system, failure/delay description, verdict) is also
     persisted as one trace file for later ``repro check`` re-verification.
+    With ``return_result`` the (non-picklable) ``(row, WorkloadResult)`` pair
+    is returned instead, for callers that need the raw history — the nemesis
+    uses it to feed protocol effort probes without re-running the simulation.
     """
     kind = scenario.protocol.kind
     result = run_workload(
@@ -147,4 +151,6 @@ def run_built_scenario(
             delay={"kind": scenario.delay.kind, "params": scenario.delay.params, "seed": seed},
             scenario=scenario.to_dict(),
         )
+    if return_result:
+        return row, result
     return row

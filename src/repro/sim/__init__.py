@@ -10,6 +10,7 @@ from .delays import (
 )
 from .events import Event, EventScheduler
 from .network import Network, NetworkStats
+from .override import ScheduleOverride, build_schedule_override
 from .process import NOT_READY, OperationHandle, Process, RelayEnvelope, WaitCondition
 from .runtime import Cluster, DeferredInvocation
 
@@ -28,7 +29,9 @@ __all__ = [
     "PartialSynchronyDelay",
     "Process",
     "RelayEnvelope",
+    "ScheduleOverride",
     "UniformDelay",
     "WaitCondition",
     "build_delay_model",
+    "build_schedule_override",
 ]

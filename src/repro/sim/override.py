@@ -1,0 +1,171 @@
+"""Schedule overrides: replaying a *mutated* delivery schedule.
+
+The nemesis subsystem (:mod:`repro.nemesis`) searches over delivery schedules:
+it takes a recorded run and perturbs *when* individual messages arrive without
+touching the base delay model's random draw sequence.  The hook lives here, at
+the delay-model layer, because the simulator already funnels every delivery
+decision through :meth:`repro.sim.DelayModel.delay` — wrapping the base model
+is enough to replay an arbitrary finite reordering, and the network/scheduler
+stay untouched.
+
+:class:`ScheduleOverride` wraps any registered delay model and applies two
+kinds of deterministic perturbation on top of its draws:
+
+* **channel stretches** — multiply every delay on one directed channel by a
+  factor (``factor > 1`` starves a channel, ``factor < 1`` races it);
+* **delivery nudges** — add extra latency to the *i*-th message sent on a
+  channel, which swaps its delivery order with later messages on the same
+  channel (and, transitively, across channels).
+
+Both are keyed by the (sender, receiver) channel; nudges additionally carry
+the per-channel send index, counted by the wrapper itself.  Because the base
+model is consulted first for *every* message — perturbed or not — the base
+RNG consumes exactly the same draw sequence as the unperturbed run, so an
+empty override replays the original schedule byte for byte.
+
+The model registers as delay-model kind ``"schedule-override"``, whose
+parameters are JSON-serializable (the base model as a ``{"kind", "params"}``
+description, perturbations as lists), so a mutated schedule is representable
+as an ordinary declarative :class:`~repro.scenarios.spec.DelaySpec` and flows
+through scenario running, trace recording and ``repro check`` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..types import Channel
+from .delays import DelayModel, build_delay_model, register_delay_model
+
+__all__ = [
+    "ScheduleOverride",
+    "build_schedule_override",
+    "nudges_from_lists",
+    "nudges_to_lists",
+    "stretches_from_lists",
+    "stretches_to_lists",
+]
+
+
+def stretches_to_lists(stretches: Mapping[Channel, float]) -> Sequence[Sequence[Any]]:
+    """Channel stretches as canonical JSON rows ``[src, dst, factor]``.
+
+    Rows are sorted by channel (as strings, so mixed process-id types stay
+    orderable), making the encoding a pure function of the mapping's contents.
+    """
+    return [
+        [src, dst, float(factor)]
+        for (src, dst), factor in sorted(
+            stretches.items(), key=lambda item: (str(item[0][0]), str(item[0][1]))
+        )
+    ]
+
+
+def stretches_from_lists(rows: Optional[Iterable[Sequence[Any]]]) -> Dict[Channel, float]:
+    """Parse ``[src, dst, factor]`` rows (inverse of :func:`stretches_to_lists`)."""
+    stretches: Dict[Channel, float] = {}
+    for row in rows or ():
+        if len(row) != 3:
+            raise ReproError("stretch rows must be [src, dst, factor], got {!r}".format(row))
+        src, dst, factor = row
+        stretches[(src, dst)] = float(factor)
+    return stretches
+
+
+def nudges_to_lists(nudges: Mapping[Tuple[Channel, int], float]) -> Sequence[Sequence[Any]]:
+    """Delivery nudges as canonical JSON rows ``[src, dst, index, extra]``."""
+    return [
+        [src, dst, int(index), float(extra)]
+        for ((src, dst), index), extra in sorted(
+            nudges.items(), key=lambda item: (str(item[0][0][0]), str(item[0][0][1]), item[0][1])
+        )
+    ]
+
+
+def nudges_from_lists(rows: Optional[Iterable[Sequence[Any]]]) -> Dict[Tuple[Channel, int], float]:
+    """Parse ``[src, dst, index, extra]`` rows (inverse of :func:`nudges_to_lists`)."""
+    nudges: Dict[Tuple[Channel, int], float] = {}
+    for row in rows or ():
+        if len(row) != 4:
+            raise ReproError(
+                "nudge rows must be [src, dst, index, extra], got {!r}".format(row)
+            )
+        src, dst, index, extra = row
+        nudges[((src, dst), int(index))] = float(extra)
+    return nudges
+
+
+class ScheduleOverride(DelayModel):
+    """Perturb a base delay model's schedule without disturbing its RNG.
+
+    Every delivery latency is ``base_delay * stretch(channel) +
+    nudge(channel, index)`` clamped to be non-negative, where ``index`` counts
+    the messages this wrapper has seen on the channel (0-based, in send
+    order).  The base model is always consulted first, so its draw sequence —
+    and therefore every *unperturbed* delivery — matches the original run
+    exactly.
+    """
+
+    def __init__(
+        self,
+        base: DelayModel,
+        stretches: Optional[Mapping[Channel, float]] = None,
+        nudges: Optional[Mapping[Tuple[Channel, int], float]] = None,
+    ) -> None:
+        for channel, factor in (stretches or {}).items():
+            if factor < 0:
+                raise ReproError(
+                    "stretch factor for channel {!r} must be non-negative, got {}".format(
+                        channel, factor
+                    )
+                )
+        self.base = base
+        self.stretches = dict(stretches or {})
+        self.nudges = dict(nudges or {})
+        self._sent: Dict[Channel, int] = {}
+
+    def delay(self, channel: Channel, send_time: float) -> float:
+        latency = self.base.delay(channel, send_time)
+        index = self._sent.get(channel, 0)
+        self._sent[channel] = index + 1
+        latency *= self.stretches.get(channel, 1.0)
+        latency += self.nudges.get((channel, index), 0.0)
+        # A negative nudge may not deliver into the past.
+        return max(latency, 0.0)
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._sent = {}
+
+
+def build_schedule_override(
+    seed: Optional[int],
+    base: Optional[Mapping[str, Any]] = None,
+    stretches: Optional[Iterable[Sequence[Any]]] = None,
+    nudges: Optional[Iterable[Sequence[Any]]] = None,
+) -> ScheduleOverride:
+    """Build a :class:`ScheduleOverride` from its declarative description.
+
+    ``base`` is a nested ``{"kind", "params"}`` delay-model description (the
+    run seed is forwarded to it, so the wrapped model draws exactly what the
+    unwrapped model would); ``stretches``/``nudges`` use the canonical list
+    encodings above.
+    """
+    base = dict(base or {"kind": "uniform", "params": {}})
+    inner = build_delay_model(base.get("kind", "uniform"), base.get("params", {}), seed=seed)
+    return ScheduleOverride(
+        inner,
+        stretches=stretches_from_lists(stretches),
+        nudges=nudges_from_lists(nudges),
+    )
+
+
+register_delay_model(
+    "schedule-override",
+    builder=build_schedule_override,
+    params=("base", "stretches", "nudges"),
+    doc="a base delay model with per-channel stretches and per-message nudges "
+    "(the nemesis subsystem's mutated-schedule replay hook)",
+    tags=("nemesis",),
+)

@@ -10,6 +10,13 @@ behind a safety verdict becomes a first-class, independently re-verifiable
 artifact, and verification scales separately from simulation.
 
 See ``docs/traces.md`` for the schema and worked examples.
+
+Corpus directories produced by ``repro nemesis hunt`` are ordinary trace
+directories whose runs additionally carry *incident reports*
+(:mod:`repro.traces.incidents`): accountability records naming the
+processes/channels an adversarial schedule abused, cross-checked against the
+declared fail-prone budget.  ``repro check`` re-verifies such a corpus
+unchanged — it only reads the ``*.trace.jsonl`` files.
 """
 
 from .check import (
@@ -17,6 +24,17 @@ from .check import (
     TraceCheckReport,
     check_trace,
     check_traces,
+)
+from .incidents import (
+    INCIDENT_KEYS,
+    INCIDENT_SCHEMA_VERSION,
+    INCIDENT_SUFFIX,
+    budget_check,
+    build_incident,
+    incident_file_name,
+    list_incident_files,
+    load_incident,
+    write_incident,
 )
 from .store import (
     TRACE_SCHEMA_VERSION,
@@ -30,13 +48,21 @@ from .store import (
 
 __all__ = [
     "CHECKER_KINDS",
+    "INCIDENT_KEYS",
+    "INCIDENT_SCHEMA_VERSION",
+    "INCIDENT_SUFFIX",
     "TRACE_SCHEMA_VERSION",
     "TRACE_SUFFIX",
     "Trace",
     "TraceCheckReport",
+    "budget_check",
+    "build_incident",
     "check_trace",
     "check_traces",
+    "incident_file_name",
+    "list_incident_files",
     "list_trace_files",
+    "load_incident",
     "load_trace",
     "trace_file_name",
     "write_run_trace",

@@ -1,0 +1,102 @@
+"""Determinism of the nemesis hunt: jobs-independence and hash-seed freedom.
+
+The hunt's contract is that ``(scenario, strategy, budget, seeds, batch,
+seed)`` fully determine the report and the persisted corpus — worker count
+must only change wall-clock time, and nothing may leak Python's per-process
+hash randomization into the output.  These tests compare complete artifacts
+byte for byte: corpus files across ``jobs`` ∈ {serial, 2, 4} in process, and
+CLI JSON output across two ``PYTHONHASHSEED`` values in subprocesses
+(the idiom of ``test_discovery_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import repro
+from repro import api
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+SCENARIO = "unidirectional-ring"
+BUDGET = 6
+ROOT_SEED = 3
+
+
+def _corpus_bytes(directory):
+    """Every corpus file's (name, bytes), sorted — the whole observable state."""
+    return [
+        (name, open(os.path.join(directory, name), "rb").read())
+        for name in sorted(os.listdir(directory))
+    ]
+
+
+def _hunt(directory, jobs):
+    report = api.hunt(
+        SCENARIO,
+        strategy="coverage-guided",
+        budget=BUDGET,
+        seed=ROOT_SEED,
+        corpus_dir=directory,
+        jobs=jobs,
+    )
+    return report.to_json(), _corpus_bytes(directory)
+
+
+def test_hunt_is_jobs_independent(tmp_path):
+    """Same seed and budget ⇒ byte-identical report and corpus for any jobs."""
+    serial_json, serial_files = _hunt(str(tmp_path / "serial"), jobs=1)
+    for jobs in (2, 4):
+        json_n, files_n = _hunt(str(tmp_path / "jobs{}".format(jobs)), jobs=jobs)
+        assert json_n == serial_json
+        assert [name for name, _ in files_n] == [name for name, _ in serial_files]
+        assert files_n == serial_files
+    assert serial_files  # survivors actually got persisted
+
+
+def test_strategies_diverge_but_each_is_deterministic(tmp_path):
+    """Different strategies are allowed to differ; reruns of one are not."""
+    reports = {
+        strategy: api.hunt(SCENARIO, strategy=strategy, budget=BUDGET, seed=ROOT_SEED)
+        for strategy in ("random", "hill-climb", "coverage-guided")
+    }
+    for strategy, report in reports.items():
+        again = api.hunt(SCENARIO, strategy=strategy, budget=BUDGET, seed=ROOT_SEED)
+        assert report.to_json() == again.to_json()
+
+
+def _run_under_hash_seed(hash_seed: str, argv) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        argv, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE
+    )
+    assert completed.returncode == 0, completed.stderr.decode()
+    return completed.stdout
+
+
+def test_cli_hunt_json_is_hash_seed_independent():
+    """The CLI hunt under two hash seeds: byte-identical JSON reports."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "nemesis",
+        "hunt",
+        SCENARIO,
+        "--budget",
+        str(BUDGET),
+        "--seed",
+        str(ROOT_SEED),
+        "--jobs",
+        "2",
+        "--format",
+        "json",
+    ]
+    out_a = _run_under_hash_seed("0", argv)
+    out_b = _run_under_hash_seed("4242", argv)
+    assert out_a == out_b
+    assert b'"best_score"' in out_a

@@ -188,7 +188,12 @@ def test_builtin_topologies_and_builtin_matchers():
 
 
 def test_builtin_delay_models_and_checkers():
-    assert DELAY_MODELS.names() == ["fixed", "uniform", "partial-synchrony"]
+    assert DELAY_MODELS.names() == [
+        "fixed",
+        "uniform",
+        "partial-synchrony",
+        "schedule-override",
+    ]
     assert CHECKERS.names() == ["auto", "wing-gong", "dep-graph", "streaming"]
 
 
