@@ -30,6 +30,10 @@ BENCH_SNAPSHOT_SCHEMA = 1
 #: Session-wide accumulator: test name -> {metric: value}.
 _RESULTS = {}
 
+#: The committed first point of the snapshot series; throughput metrics in a
+#: new snapshot are compared against it (see ``_throughput_regressions``).
+SEED_SNAPSHOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_seed.json")
+
 
 @pytest.fixture(scope="session")
 def figure1_gqs() -> GeneralizedQuorumSystem:
@@ -68,8 +72,39 @@ def _snapshot_path(directory):
     return os.path.join(directory, "BENCH_{}.json".format(label))
 
 
+def _throughput_regressions(results):
+    """Throughput metrics that fell more than 2x below the committed seed.
+
+    Only ``*samples_per_sec*`` metrics participate: wall-clock seconds vary
+    with workload sizes between revisions, but a >2x drop in samples/sec on
+    the same test is a real engine regression, not noise.
+    """
+    try:
+        with open(SEED_SNAPSHOT, encoding="utf-8") as handle:
+            baseline = json.load(handle).get("results", {})
+    except (OSError, ValueError):
+        return []
+    regressions = []
+    for name, entry in sorted(results.items()):
+        for metric, value in sorted(entry.items()):
+            if "samples_per_sec" not in metric:
+                continue
+            reference = baseline.get(name, {}).get(metric)
+            if not isinstance(reference, (int, float)):
+                continue
+            if isinstance(value, (int, float)) and value * 2 < reference:
+                regressions.append((name, metric, value, reference))
+    return regressions
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Persist the collected numbers when REPRO_BENCH_DIR asks for it."""
+    """Persist the collected numbers when REPRO_BENCH_DIR asks for it.
+
+    After writing the snapshot the throughput guard runs: if any recorded
+    samples/sec metric regressed more than 2x below ``BENCH_seed.json`` the
+    session is failed, so CI's bench smoke step catches engine slowdowns even
+    when every functional assertion still passes.
+    """
     directory = os.environ.get("REPRO_BENCH_DIR")
     if not directory or not _RESULTS:
         return
@@ -89,3 +124,9 @@ def pytest_sessionfinish(session, exitstatus):
         json.dump(snapshot, handle, sort_keys=True, indent=2)
         handle.write("\n")
     os.replace(partial, path)
+    regressions = _throughput_regressions(snapshot["results"])
+    if regressions:
+        print("\nBench throughput regressed >2x below BENCH_seed.json:")
+        for name, metric, value, reference in regressions:
+            print("  {} {}: {} (seed: {})".format(name, metric, value, reference))
+        session.exitstatus = 1

@@ -73,6 +73,116 @@ def test_e6_reliability_of_figure1_quorums(benchmark, figure1_gqs):
     assert estimates[-1].gqs_availability >= estimates[-1].strong_availability
 
 
+def test_e6_engine_speedup(benchmark, figure1_gqs, bench_numbers):
+    """Batched bitset engine vs the set-based reference: ≥10x samples/sec.
+
+    The comparison is at *equal statistical output*: both engines consume the
+    shard RNG stream draw for draw, so the counters they produce are asserted
+    identical before the throughputs are compared.  The engines run
+    interleaved and each timing keeps the best of three rounds, so a noisy
+    stretch of CPU hits both sides rather than skewing the ratio; the
+    recorded samples/sec feed the conftest regression guard against
+    ``BENCH_seed.json``.
+    """
+    import gc
+    import time
+
+    from repro.montecarlo import estimate_reliability
+
+    REL_SAMPLES = 3000
+    ADM_SAMPLES = 1200
+    ROUNDS = 3
+
+    def run(engine):
+        start = time.perf_counter()
+        estimate = estimate_reliability(
+            figure1_gqs,
+            crash_prob=0.1,
+            disconnect_prob=0.3,
+            samples=REL_SAMPLES,
+            seed=5,
+            engine=engine,
+        )
+        rel_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        points = admissibility_sweep(
+            (0.3,),
+            5,      # n
+            3,      # patterns per system
+            0.2,    # crash probability
+            ADM_SAMPLES,
+            None,   # max_crashes
+            3,      # seed
+            engine=engine,
+        )
+        adm_seconds = time.perf_counter() - start
+        return estimate, points, rel_seconds, adm_seconds
+
+    def experiment():
+        numbers = {}
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(ROUNDS):
+                for engine in ("set", "bitset"):
+                    estimate, points, rel_seconds, adm_seconds = run(engine)
+                    entry = numbers.setdefault(
+                        engine,
+                        {
+                            "estimate": estimate,
+                            "points": points,
+                            "rel_seconds": rel_seconds,
+                            "adm_seconds": adm_seconds,
+                        },
+                    )
+                    assert entry["estimate"] == estimate and entry["points"] == points
+                    entry["rel_seconds"] = min(entry["rel_seconds"], rel_seconds)
+                    entry["adm_seconds"] = min(entry["adm_seconds"], adm_seconds)
+                    gc.collect()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        for entry in numbers.values():
+            entry["reliability_samples_per_sec"] = round(
+                REL_SAMPLES / entry.pop("rel_seconds"), 1
+            )
+            entry["admissibility_samples_per_sec"] = round(
+                ADM_SAMPLES / entry.pop("adm_seconds"), 1
+            )
+        return numbers
+
+    numbers = bench_once(benchmark, experiment)
+    # Equal statistical output: identical counters, sample for sample.
+    assert numbers["bitset"]["estimate"] == numbers["set"]["estimate"]
+    assert numbers["bitset"]["points"] == numbers["set"]["points"]
+    assert numbers["set"]["estimate"].samples == REL_SAMPLES
+    speedups = {}
+    for study in ("reliability", "admissibility"):
+        metric = "{}_samples_per_sec".format(study)
+        speedups[study] = numbers["bitset"][metric] / numbers["set"][metric]
+    bench_numbers(
+        set_reliability_samples_per_sec=numbers["set"]["reliability_samples_per_sec"],
+        bitset_reliability_samples_per_sec=numbers["bitset"]["reliability_samples_per_sec"],
+        set_admissibility_samples_per_sec=numbers["set"]["admissibility_samples_per_sec"],
+        bitset_admissibility_samples_per_sec=numbers["bitset"]["admissibility_samples_per_sec"],
+        reliability_speedup=round(speedups["reliability"], 2),
+        admissibility_speedup=round(speedups["admissibility"], 2),
+    )
+    print()
+    print("E6 engine speedup (identical counters, interleaved best-of-three):")
+    for study, speedup in speedups.items():
+        print(
+            "  {}: set {:.0f} -> bitset {:.0f} samples/sec ({:.1f}x)".format(
+                study,
+                numbers["set"]["{}_samples_per_sec".format(study)],
+                numbers["bitset"]["{}_samples_per_sec".format(study)],
+                speedup,
+            )
+        )
+    assert speedups["reliability"] >= 10.0, speedups
+    assert speedups["admissibility"] >= 10.0, speedups
+
+
 def test_e6_strict_separation_witnesses(benchmark):
     """The GQS condition is *strictly* weaker than QS+: count separating systems.
 

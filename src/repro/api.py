@@ -29,6 +29,7 @@ facade call without any core change.
 from __future__ import annotations
 
 import functools
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
@@ -496,6 +497,45 @@ class MonteCarloSweep:
     def reliability_text(self) -> str:
         return str(reliability_table(self.reliability or []))
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready view: raw counters plus the derived fractions."""
+        data: Dict[str, Any] = {}
+        if self.admissibility is not None:
+            data["admissibility"] = [
+                {
+                    "disconnect_prob": point.disconnect_prob,
+                    "crash_prob": point.crash_prob,
+                    "samples": point.samples,
+                    "generalized": point.generalized,
+                    "strong": point.strong,
+                    "classical": point.classical,
+                    "generalized_fraction": point.generalized_fraction,
+                    "strong_fraction": point.strong_fraction,
+                    "classical_fraction": point.classical_fraction,
+                }
+                for point in self.admissibility
+            ]
+        if self.reliability is not None:
+            data["reliability"] = [
+                {
+                    "disconnect_prob": estimate.disconnect_prob,
+                    "crash_prob": estimate.crash_prob,
+                    "samples": estimate.samples,
+                    "gqs_available": estimate.gqs_available,
+                    "strong_available": estimate.strong_available,
+                    "classical_available": estimate.classical_available,
+                    "gqs_availability": estimate.gqs_availability,
+                    "strong_availability": estimate.strong_availability,
+                    "classical_availability": estimate.classical_availability,
+                }
+                for estimate in self.reliability
+            ]
+        return data
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys) — byte-stable across jobs and engines."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
 
 def sweep(
     kind: str = "all",
@@ -506,13 +546,18 @@ def sweep(
     seed: int = 0,
     jobs: int = 1,
     progress_factory: Optional[Callable[[str], ProgressCallback]] = None,
+    engine: str = "bitset",
 ) -> MonteCarloSweep:
     """Run the Monte Carlo studies: quorum-condition admissibility and/or the
     availability of the Figure 1 quorums.
 
     ``kind`` is ``"admissibility"``, ``"reliability"`` or ``"all"``;
     ``progress_factory(label)`` supplies an optional per-study progress
-    callback.  Results depend only on ``seed``, never on ``jobs``.
+    callback.  ``engine`` selects the evaluation path
+    (:data:`repro.montecarlo.MONTE_CARLO_ENGINES`): the batched bitmask
+    engine (default) or the set-based reference.  Results depend only on
+    ``seed`` — never on ``jobs``, and never on ``engine`` (the two are
+    sample-for-sample equivalent).
     """
     if kind not in ("admissibility", "reliability", "all"):
         raise ReproError(
@@ -530,6 +575,7 @@ def sweep(
             seed=seed,
             jobs=jobs,
             progress=progress_factory("admissibility") if progress_factory else None,
+            engine=engine,
         )
     if kind in ("reliability", "all"):
         outcome.reliability = reliability_sweep(
@@ -539,6 +585,7 @@ def sweep(
             seed=seed,
             jobs=jobs,
             progress=progress_factory("reliability") if progress_factory else None,
+            engine=engine,
         )
     return outcome
 

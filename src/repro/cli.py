@@ -364,7 +364,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         progress_factory=(
             (lambda label: functools.partial(_stderr_progress, label)) if args.progress else None
         ),
+        engine=args.engine,
     )
+    if args.format == "json":
+        print(outcome.to_json())
+        return 0
     if outcome.admissibility is not None:
         print(outcome.admissibility_text())
         print()
@@ -742,6 +746,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="report per-shard progress on stderr",
+    )
+    sweep.add_argument(
+        "--engine",
+        choices=["bitset", "set"],
+        default="bitset",
+        help="Monte Carlo evaluation engine: batched integer bitmasks (default) or the "
+        "set-based reference path; both produce identical results for every seed",
+    )
+    sweep.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="output format (json emits raw counters plus derived fractions)",
     )
     sweep.set_defaults(func=cmd_sweep)
 

@@ -1,7 +1,7 @@
 """Directed-graph substrate: the network graph and residual-graph algorithms."""
 
 from .digraph import DiGraph
-from .bitset import BitsetDiGraph, ProcessIndex, iter_bits, popcount
+from .bitset import BitsetDiGraph, ProcessIndex, component_containing, iter_bits, popcount
 from .connectivity import (
     can_reach,
     condensation,
@@ -20,6 +20,7 @@ __all__ = [
     "DiGraph",
     "ProcessIndex",
     "can_reach",
+    "component_containing",
     "condensation",
     "has_path",
     "is_strongly_connected",

@@ -23,7 +23,7 @@ the construction-friendly representation, and
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..types import Channel, ProcessId, ProcessSet, sort_key, sorted_processes
 from .digraph import DiGraph
@@ -40,6 +40,23 @@ def iter_bits(mask: int) -> Iterator[int]:
 def popcount(mask: int) -> int:
     """Number of set bits in ``mask``."""
     return bin(mask).count("1")
+
+
+def component_containing(components: Sequence[int], mask: int) -> Optional[int]:
+    """The component mask containing *every* bit of ``mask``, or ``None``.
+
+    ``components`` must be pairwise disjoint (e.g. the output of
+    :meth:`BitsetDiGraph.scc_masks`), so the component holding the lowest bit
+    of ``mask`` is the only one that could contain the rest.  An empty
+    ``mask`` has no containing component.
+    """
+    if not mask:
+        return None
+    anchor = mask & -mask
+    for component in components:
+        if component & anchor:
+            return component if not mask & ~component else None
+    return None
 
 
 class ProcessIndex:
@@ -98,6 +115,32 @@ class ProcessIndex:
         """Decode a bitmask into a deterministically sorted list."""
         return [self._processes[i] for i in iter_bits(mask)]
 
+    def failure_masks(
+        self, crashed: Iterable[ProcessId], channels: Iterable[Channel]
+    ) -> Tuple[int, Dict[int, int]]:
+        """Encode a failure pattern as ``(crash_mask, succ_clear)``.
+
+        ``crash_mask`` has one bit per crashed process; ``succ_clear`` maps a
+        source bit position to the mask of destination bits whose channels the
+        pattern disconnects.  Together they are the mask form consumed by
+        :meth:`BitsetDiGraph.residual_masks`, decodable back with
+        :meth:`set_of`/:meth:`channels_of`.
+        """
+        positions = self._positions
+        rows: Dict[int, int] = {}
+        for src, dst in channels:
+            i = positions[src]
+            rows[i] = rows.get(i, 0) | (1 << positions[dst])
+        return self.mask_of(crashed), rows
+
+    def channels_of(self, succ_clear: Mapping[int, int]) -> FrozenSet[Channel]:
+        """Decode per-source destination rows back into a channel set."""
+        return frozenset(
+            (self._processes[i], self._processes[j])
+            for i, row in succ_clear.items()
+            for j in iter_bits(row)
+        )
+
     def __repr__(self) -> str:
         return "ProcessIndex(n={})".format(len(self._processes))
 
@@ -146,30 +189,37 @@ class BitsetDiGraph:
         """The residual graph with ``crashed`` vertices and ``disconnected`` edges removed.
 
         Channels incident to a crashed vertex disappear with the vertex, as in
-        :meth:`DiGraph.without`.
+        :meth:`DiGraph.without`.  This is the ProcessId-level entry point; the
+        failure set is encoded once with :meth:`ProcessIndex.failure_masks`
+        and the mask-level :meth:`residual_masks` does the work.
         """
-        crash_mask = self.index.mask_of(crashed)
+        return self.residual_masks(*self.index.failure_masks(crashed, disconnected))
+
+    def residual_masks(self, crash_mask: int, succ_clear: Mapping[int, int] = {}) -> "BitsetDiGraph":
+        """The residual graph of a failure pattern already encoded as masks.
+
+        ``crash_mask`` holds the crashed vertices; ``succ_clear`` maps a source
+        bit position to the mask of successor bits to disconnect (the encoding
+        of :meth:`ProcessIndex.failure_masks`).  Batching the dropped channels
+        into one clear-mask per source matters twice over: large patterns
+        disconnect tens of thousands of channels, and the Monte Carlo bitset
+        engine calls this once per sampled pattern.
+        """
         keep = ~crash_mask
         vertex_mask = self.vertex_mask & keep
         succ = [row & keep for row in self._succ]
         pred = [row & keep for row in self._pred]
-        for i in iter_bits(crash_mask):
+        for i in iter_bits(crash_mask & self.index.full_mask):
             succ[i] = 0
             pred[i] = 0
-        # Batch the dropped channels into one clear-mask per endpoint: large
-        # patterns disconnect tens of thousands of channels, and one wide
-        # integer operation per vertex beats one per channel.
-        positions = self.index._positions
-        succ_clear: Dict[int, int] = {}
-        pred_clear: Dict[int, int] = {}
-        for src, dst in disconnected:
-            i, j = positions[src], positions[dst]
-            succ_clear[i] = succ_clear.get(i, 0) | (1 << j)
-            pred_clear[j] = pred_clear.get(j, 0) | (1 << i)
         for i, clear in succ_clear.items():
+            dropped = succ[i] & clear
+            if not dropped:
+                continue
             succ[i] &= ~clear
-        for j, clear in pred_clear.items():
-            pred[j] &= ~clear
+            source_bit = ~(1 << i)
+            for j in iter_bits(dropped):
+                pred[j] &= source_bit
         return BitsetDiGraph(self.index, vertex_mask, succ, pred)
 
     # ------------------------------------------------------------------ #
@@ -233,6 +283,22 @@ class BitsetDiGraph:
         backward = self.can_reach_mask(anchor)
         return mask & ~(forward & backward) == 0
 
+    def set_reaches_set(self, sources: int, targets: int) -> bool:
+        """Whether every target bit is reachable from every source bit.
+
+        Mirrors :func:`repro.graph.connectivity.set_reaches_set`: all named
+        vertices must be present, and each source needs its own forward
+        closure (sources included as trivially self-reaching).
+        """
+        sources &= self.index.full_mask
+        targets &= self.index.full_mask
+        if (sources | targets) & ~self.vertex_mask:
+            return False
+        for i in iter_bits(sources):
+            if targets & ~self.reachable_mask(1 << i):
+                return False
+        return True
+
     def scc_masks(self) -> List[int]:
         """Strongly connected components as masks, ordered by lowest member bit.
 
@@ -251,4 +317,10 @@ class BitsetDiGraph:
         return components
 
 
-__all__ = ["BitsetDiGraph", "ProcessIndex", "iter_bits", "popcount"]
+__all__ = [
+    "BitsetDiGraph",
+    "ProcessIndex",
+    "component_containing",
+    "iter_bits",
+    "popcount",
+]

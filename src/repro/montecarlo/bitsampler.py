@@ -1,0 +1,516 @@
+"""Batched bitmask Monte Carlo sampling — the ``engine="bitset"`` hot path.
+
+The set-based shards in :mod:`repro.montecarlo.reliability` and
+:mod:`repro.montecarlo.comparison` pay heavy per-sample object churn: every
+sampled failure pattern is materialised as a :class:`FailurePattern`, wrapped
+in a fresh :class:`FailProneSystem` (defensive graph copy included) and
+evaluated through set-based reachability, one quorum pair at a time.  The
+shards here sample failure patterns *directly as integers* — one crash mask
+plus one disconnect row per surviving source, drawn from the shard RNG — and
+evaluate the GQS / QS+ / classical predicates over
+:class:`~repro.graph.BitsetDiGraph` residual operations (SCC masks, forward /
+backward closures), so a shard of thousands of samples allocates a few small
+lists per sample and nothing else.
+
+Sample-for-sample equivalence guarantee
+---------------------------------------
+For every shard seed the samplers below consume the RNG in **exactly** the
+same order as their set-based counterparts (same per-process crash draws,
+same uniform all-crashed adjustment, same early-stop and survivor-pair
+disconnect discipline), and the mask predicates compute the same three
+booleans per sample:
+
+* a write quorum is ``f``-available iff it lies inside one SCC mask of the
+  residual graph, and the read quorums that reach it are exactly the
+  backward closure ``can_reach`` of that SCC;
+* a read/write pair satisfies QS+ availability iff the union mask lies
+  inside one SCC;
+* the admissibility existence questions reduce to the same per-pattern
+  component / candidate choice problems the set deciders solve
+  (:func:`~repro.quorums.strong_choice_exists`,
+  :func:`~repro.quorums.gqs_choice_exists`).
+
+Merged counters — and therefore every sweep table and JSON byte — are thus
+identical between ``engine="set"`` and ``engine="bitset"`` for every
+``(seed, samples, chunk_size)``, independent of ``--jobs``.  The differential
+battery in ``tests/test_montecarlo_differential.py`` pins this contract.
+"""
+
+from __future__ import annotations
+
+import random
+import weakref
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..engine import ExperimentSpec, ShardSpec
+from ..graph import BitsetDiGraph, ProcessIndex, component_containing, iter_bits
+from ..quorums import gqs_choice_exists, strong_choice_exists
+from .comparison import AdmissibilityPoint
+from .reliability import ReliabilityEstimate
+
+
+# ---------------------------------------------------------------------- #
+# Mask-level pattern samplers (RNG-stream twins of the set samplers)
+# ---------------------------------------------------------------------- #
+def sample_reliability_masks(
+    order: Sequence[int],
+    rng: random.Random,
+    crash_prob: float,
+    disconnect_prob: float,
+) -> Tuple[int, Dict[int, int]]:
+    """Draw-for-draw twin of :func:`repro.montecarlo.reliability._sample_pattern`.
+
+    ``order`` lists bit positions in the set sampler's process iteration
+    order; the returned ``(crash_mask, succ_clear)`` pair feeds
+    :meth:`~repro.graph.BitsetDiGraph.residual_masks`.  The all-crashed draw
+    is adjusted by un-crashing one position uniformly at random, spending the
+    same single extra draw as the set sampler.
+    """
+    crashed = [pos for pos in order if rng.random() < crash_prob]
+    if len(crashed) == len(order):
+        crashed.pop(rng.randrange(len(crashed)))
+    crash_mask = 0
+    for pos in crashed:
+        crash_mask |= 1 << pos
+    survivors = [pos for pos in order if not crash_mask >> pos & 1]
+    succ_clear: Dict[int, int] = {}
+    for src in survivors:
+        row = 0
+        for dst in survivors:
+            if src != dst and rng.random() < disconnect_prob:
+                row |= 1 << dst
+        if row:
+            succ_clear[src] = row
+    return crash_mask, succ_clear
+
+
+def sample_admissibility_masks(
+    order: Sequence[int],
+    rng: random.Random,
+    crash_prob: float,
+    disconnect_prob: float,
+    max_crashes: Optional[int] = None,
+) -> Tuple[int, Dict[int, int]]:
+    """Draw-for-draw twin of :func:`repro.failures.random_failure_pattern`.
+
+    The crash loop stops *before* drawing for the next process once the crash
+    limit is reached — the set sampler's ``break`` ends the per-process draw
+    stream early, and mirroring that exactly is what keeps the two engines on
+    the same RNG stream.
+    """
+    limit = len(order) - 1 if max_crashes is None else min(max_crashes, len(order) - 1)
+    crash_mask = 0
+    crashes = 0
+    for pos in order:
+        if crashes >= limit:
+            break
+        if rng.random() < crash_prob:
+            crash_mask |= 1 << pos
+            crashes += 1
+    survivors = [pos for pos in order if not crash_mask >> pos & 1]
+    succ_clear: Dict[int, int] = {}
+    for src in survivors:
+        row = 0
+        for dst in survivors:
+            if src != dst and rng.random() < disconnect_prob:
+                row |= 1 << dst
+        if row:
+            succ_clear[src] = row
+    return crash_mask, succ_clear
+
+
+def _complete_bitset_graph(n: int) -> Tuple[ProcessIndex, BitsetDiGraph]:
+    """A complete directed graph over ``n`` synthetic vertices.
+
+    The admissibility samplers generate processes ``p0 .. p{n-1}`` over a
+    complete network graph; since the existence predicates are invariant
+    under vertex renaming, the bitset engine numbers bits ``0 .. n-1`` in the
+    generator's iteration order directly instead of re-deriving the
+    repr-sorted order of the string names.
+    """
+    index = ProcessIndex(range(n))
+    full = (1 << n) - 1
+    rows = [full & ~(1 << i) for i in range(n)]
+    return index, BitsetDiGraph(index, full, rows, list(rows))
+
+
+# ---------------------------------------------------------------------- #
+# Reliability (availability of fixed quorums)
+# ---------------------------------------------------------------------- #
+#: Per-quorum-system shard setup, shared across the (chunk-sized) shards of a
+#: serial run.  Keyed weakly: parallel workers unpickle a fresh quorum system
+#: per task, and its entry dies with it instead of accumulating.
+_RELIABILITY_SETUP_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _reliability_setup(quorum_system):
+    """(iteration order, base succ rows, read entries, write entries) for a shard.
+
+    ``order`` lists bit positions in the set sampler's process iteration
+    order (``sorted(..., key=repr)``); each quorum entry pairs the quorum's
+    mask with the tuple of its bit positions.
+    """
+    setup = _RELIABILITY_SETUP_CACHE.get(quorum_system)
+    if setup is None:
+        fail_prone = quorum_system.fail_prone
+        index = fail_prone.process_index
+        base = fail_prone.bitset_graph
+        order = [index.position(p) for p in sorted(quorum_system.processes, key=repr)]
+        base_rows = [base.successor_mask(i) for i in range(len(index))]
+        bits = [1 << i for i in range(len(index))]
+        not_bits = [~(1 << i) for i in range(len(index))]
+        read_entries = [
+            (mask, tuple(iter_bits(mask)))
+            for mask in (index.mask_of(r) for r in quorum_system.read_quorums)
+        ]
+        write_entries = [
+            (mask, tuple(iter_bits(mask)))
+            for mask in (index.mask_of(w) for w in quorum_system.write_quorums)
+        ]
+        setup = (order, base_rows, bits, not_bits, read_entries, write_entries)
+        _RELIABILITY_SETUP_CACHE[quorum_system] = setup
+    return setup
+
+
+def _availability_under_masks(
+    residual: BitsetDiGraph,
+    correct_mask: int,
+    read_masks: Sequence[int],
+    write_masks: Sequence[int],
+) -> Tuple[bool, bool, bool]:
+    """(GQS, QS+, classical) availability booleans for one sampled residual.
+
+    Boolean-equivalent to :func:`repro.montecarlo.reliability._availability_under`:
+    classical needs a correct write and a correct read quorum; a correct
+    write quorum is available iff one SCC contains it, and the read quorums
+    reaching it are those inside the SCC's backward closure; a pair is QS+
+    available iff the union sits inside one SCC.
+    """
+    correct_writes = [w for w in write_masks if not w & ~correct_mask]
+    if not correct_writes:
+        return False, False, False
+    correct_reads = [r for r in read_masks if not r & ~correct_mask]
+    if not correct_reads:
+        return False, False, False
+    components = residual.scc_masks()
+    readers_cache: Dict[int, int] = {}
+    gqs_ok = False
+    strong_ok = False
+    for w in correct_writes:
+        home = component_containing(components, w)
+        if home is None:
+            continue
+        if not gqs_ok:
+            readers = readers_cache.get(home)
+            if readers is None:
+                readers = residual.can_reach_mask(home)
+                readers_cache[home] = readers
+            gqs_ok = any(not r & ~readers for r in correct_reads)
+        if not strong_ok:
+            strong_ok = any(
+                component_containing(components, w | r) is not None for r in correct_reads
+            )
+        if gqs_ok and strong_ok:
+            break
+    return gqs_ok, strong_ok, True
+
+
+def _reliability_shard_bitset(spec: ExperimentSpec, shard: ShardSpec) -> ReliabilityEstimate:
+    """Bitset-engine twin of :func:`reliability._reliability_shard` (worker side).
+
+    The sampler and the three predicates are fused into one loop of integer
+    operations — the per-sample cost is a handful of forward closures and mask
+    intersections, with no graph or pattern objects at all.  The predicate
+    arithmetic relies on per-survivor forward closures ``reach[v]``:
+
+    * ``W`` is available iff ``W ⊆ ∩_{w∈W} reach[w]`` (mutual reachability);
+    * every member of ``R`` reaches every member of ``W`` iff
+      ``W ⊆ ∩_{r∈R} reach[r]``;
+    * ``R ∪ W`` is strongly connected iff
+      ``R∪W ⊆ (∩_{w∈W} reach[w]) ∩ (∩_{r∈R} reach[r])``.
+
+    The per-quorum intersections are computed once per sample, making each
+    read/write pair check O(1) mask work.
+    """
+    quorum_system = spec.params["quorum_system"]
+    crash_prob = spec.params["crash_prob"]
+    disconnect_prob = spec.params["disconnect_prob"]
+    rng = random.Random(shard.seed)
+    rng_random = rng.random
+    rng_randrange = rng.randrange
+    order, base_rows, bits, not_bits, read_entries, write_entries = _reliability_setup(
+        quorum_system
+    )
+    num_processes = len(order)
+    gqs_count = strong_count = classical_count = 0
+    reach = [0] * len(base_rows)
+    # Reused across samples without zeroing: the closure loop only ever reads
+    # rows of survivors, and every survivor's row is freshly written below.
+    succ = [0] * len(base_rows)
+    for _ in range(shard.samples):
+        crash_mask = 0
+        crash_count = 0
+        for pos in order:
+            if rng_random() < crash_prob:
+                crash_mask |= bits[pos]
+                crash_count += 1
+        if crash_count == num_processes:
+            # The set sampler revives a uniformly chosen process; with all
+            # processes crashed, position k of the crashed list is order[k].
+            crash_mask &= not_bits[order[rng_randrange(num_processes)]]
+        keep = ~crash_mask
+        survivors = [pos for pos in order if keep & bits[pos]]
+        for src in survivors:
+            row = base_rows[src] & keep
+            for dst in survivors:
+                if src != dst and rng_random() < disconnect_prob:
+                    row &= not_bits[dst]
+            succ[src] = row
+        correct_writes = [entry for entry in write_entries if not entry[0] & crash_mask]
+        if not correct_writes:
+            continue
+        correct_reads = [entry for entry in read_entries if not entry[0] & crash_mask]
+        if not correct_reads:
+            continue
+        classical_count += 1
+        # Forward closures of every survivor at once, Floyd–Warshall style:
+        # after round k, reach[v] holds the vertices reachable through
+        # intermediates drawn from the first k survivors.
+        for v in survivors:
+            reach[v] = succ[v] | bits[v]
+        for k in survivors:
+            bit_k = bits[k]
+            reach_k = reach[k]
+            for v in survivors:
+                if reach[v] & bit_k:
+                    reach[v] |= reach_k
+        read_inters = []
+        for r_mask, r_bits in correct_reads:
+            inter = -1
+            for b in r_bits:
+                inter &= reach[b]
+            read_inters.append((r_mask, inter))
+        gqs_ok = False
+        strong_ok = False
+        for w_mask, w_bits in correct_writes:
+            w_inter = -1
+            for b in w_bits:
+                w_inter &= reach[b]
+            available = not w_mask & ~w_inter
+            for r_mask, r_inter in read_inters:
+                if available and not w_mask & ~r_inter:
+                    gqs_ok = True
+                if not (w_mask | r_mask) & ~(w_inter & r_inter):
+                    strong_ok = True
+                    if gqs_ok:
+                        break
+            if gqs_ok and strong_ok:
+                break
+        if gqs_ok:
+            gqs_count += 1
+        if strong_ok:
+            strong_count += 1
+    estimate = ReliabilityEstimate(
+        crash_prob=crash_prob, disconnect_prob=disconnect_prob, samples=shard.samples
+    )
+    estimate.gqs_available = gqs_count
+    estimate.strong_available = strong_count
+    estimate.classical_available = classical_count
+    return estimate
+
+
+# ---------------------------------------------------------------------- #
+# Admissibility (existence of quorum conditions over random systems)
+# ---------------------------------------------------------------------- #
+def _classify_residual_masks(residuals: Sequence[BitsetDiGraph]) -> Tuple[bool, bool]:
+    """(GQS exists, QS+ exists) for one sampled system given its residual masks."""
+    components_per_pattern = [residual.scc_masks() for residual in residuals]
+    strong = strong_choice_exists(components_per_pattern)
+    generalized = gqs_choice_exists(
+        [
+            [(residual.can_reach_mask(component), component) for component in components]
+            for residual, components in zip(residuals, components_per_pattern)
+        ]
+    )
+    return generalized, strong
+
+
+def _admissibility_shard_bitset(spec: ExperimentSpec, shard: ShardSpec) -> AdmissibilityPoint:
+    """Bitset-engine twin of :func:`comparison._admissibility_shard` (worker side).
+
+    Like the reliability shard, sampling and evaluation are fused into integer
+    loops: each pattern's residual is a list of successor rows, SCCs and reader
+    closures are derived from per-survivor forward closures, and the existence
+    questions first try the greedy choice (the largest component of every
+    pattern — if those pairwise intersect, a QS+ and hence a GQS exist) before
+    falling back to the exact backtrackers
+    :func:`~repro.quorums.strong_choice_exists` /
+    :func:`~repro.quorums.gqs_choice_exists`.
+    """
+    rng = random.Random(shard.seed)
+    rng_random = rng.random
+    n = spec.params["n"]
+    num_patterns = spec.params["num_patterns"]
+    crash_prob = spec.params["crash_prob"]
+    disconnect_prob = spec.params["disconnect_prob"]
+    max_crashes = spec.params["max_crashes"]
+    limit = n - 1 if max_crashes is None else min(max_crashes, n - 1)
+    full = (1 << n) - 1
+    point = AdmissibilityPoint(
+        disconnect_prob=disconnect_prob,
+        crash_prob=crash_prob,
+        samples=shard.samples,
+    )
+    reach = [0] * n
+    succ = [0] * n
+    bits = [1 << i for i in range(n)]
+    not_bits = [~(1 << i) for i in range(n)]
+    for _ in range(shard.samples):
+        allows_channel_failures = False
+        components_per_pattern = []
+        closures_per_pattern = []
+        survivor_masks = []
+        largest_per_pattern = []
+        for _pattern in range(num_patterns):
+            crash_mask = 0
+            crashes = 0
+            for pos in range(n):
+                if crashes >= limit:
+                    break
+                if rng_random() < crash_prob:
+                    crash_mask |= bits[pos]
+                    crashes += 1
+            survivor_mask = full & ~crash_mask
+            survivors = [pos for pos in range(n) if survivor_mask & bits[pos]]
+            for src in survivors:
+                row = survivor_mask & not_bits[src]
+                for dst in survivors:
+                    if src != dst and rng_random() < disconnect_prob:
+                        row &= not_bits[dst]
+                        allows_channel_failures = True
+                succ[src] = row
+            # Forward closures, Floyd–Warshall style (see the reliability shard).
+            for v in survivors:
+                reach[v] = succ[v] | bits[v]
+            for k in survivors:
+                bit_k = bits[k]
+                reach_k = reach[k]
+                for v in survivors:
+                    if reach[v] & bit_k:
+                        reach[v] |= reach_k
+            components = []
+            largest = 0
+            largest_size = -1
+            remaining = survivor_mask
+            while remaining:
+                low = remaining & -remaining
+                anchor = low.bit_length() - 1
+                component = low
+                rest = reach[anchor] & remaining & ~low
+                while rest:
+                    low2 = rest & -rest
+                    if reach[low2.bit_length() - 1] >> anchor & 1:
+                        component |= low2
+                    rest ^= low2
+                remaining &= ~component
+                components.append(component)
+                size = bin(component).count("1")
+                if size > largest_size:
+                    largest_size = size
+                    largest = component
+            components_per_pattern.append(components)
+            closures_per_pattern.append(reach[:])
+            survivor_masks.append(survivor_mask)
+            largest_per_pattern.append(largest)
+        greedy = all(
+            largest_per_pattern[i] & largest_per_pattern[j]
+            for i in range(num_patterns)
+            for j in range(i + 1, num_patterns)
+        )
+        if greedy:
+            generalized = strong = True
+        else:
+            strong = strong_choice_exists(components_per_pattern)
+            if strong:
+                generalized = True
+            else:
+                # Only now pay for the reader closures: readers(C) are the
+                # survivors whose forward closure meets the component C.
+                candidates_per_pattern = []
+                for components, closures, survivor_mask in zip(
+                    components_per_pattern, closures_per_pattern, survivor_masks
+                ):
+                    candidates = []
+                    for component in components:
+                        readers = component
+                        outside = survivor_mask & ~component
+                        while outside:
+                            low3 = outside & -outside
+                            if closures[low3.bit_length() - 1] & component:
+                                readers |= low3
+                            outside ^= low3
+                        candidates.append((readers, component))
+                    candidates_per_pattern.append(candidates)
+                generalized = gqs_choice_exists(candidates_per_pattern)
+        if generalized:
+            point.generalized += 1
+        if strong:
+            point.strong += 1
+        if (not allows_channel_failures) and strong:
+            point.classical += 1
+    return point
+
+
+def _asymmetric_shard_bitset(spec: ExperimentSpec, shard: ShardSpec) -> Tuple[int, int]:
+    """Bitset-engine twin of :func:`comparison._asymmetric_shard` (worker side).
+
+    The asymmetric-partition residual is built directly: the sampled window is
+    a complete subgraph, the reader keeps a single channel into it, and every
+    other channel between survivors is disconnected — so the residual rows are
+    written down instead of subtracting a disconnect set from the complete
+    graph.
+    """
+    rng = random.Random(shard.seed)
+    n = spec.params["n"]
+    num_patterns = spec.params["num_patterns"]
+    window_size = spec.params["window_size"]
+    size = window_size if window_size is not None else max(2, n // 2)
+    processes = ["p{}".format(i) for i in range(n)]
+    position = {p: i for i, p in enumerate(processes)}
+    index, _ = _complete_bitset_graph(n)
+    strong_count = 0
+    generalized_count = 0
+    for _ in range(shard.samples):
+        residuals = []
+        for _pattern in range(num_patterns):
+            window = rng.sample(processes, size)
+            outside = [p for p in processes if p not in window]
+            reader = rng.choice(outside) if outside else None
+            window_mask = 0
+            for p in window:
+                window_mask |= 1 << position[p]
+            succ = [0] * n
+            pred = [0] * n
+            for p in window:
+                i = position[p]
+                succ[i] = pred[i] = window_mask & ~(1 << i)
+            vertex_mask = window_mask
+            if reader is not None:
+                entry = position[rng.choice(window)]
+                reader_pos = position[reader]
+                vertex_mask |= 1 << reader_pos
+                succ[reader_pos] = 1 << entry
+                pred[entry] |= 1 << reader_pos
+            residuals.append(BitsetDiGraph(index, vertex_mask, succ, pred))
+        generalized, strong = _classify_residual_masks(residuals)
+        if strong:
+            strong_count += 1
+        if generalized:
+            generalized_count += 1
+    return strong_count, generalized_count
+
+
+__all__ = [
+    "sample_admissibility_masks",
+    "sample_reliability_masks",
+]

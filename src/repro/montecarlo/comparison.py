@@ -26,8 +26,10 @@ from ..engine import (
     derive_seed,
 )
 from ..engine.runner import ProgressCallback
+from ..errors import ReproError
 from ..failures import FailProneSystem, FailurePattern, random_failure_pattern
 from ..quorums import classify_fail_prone_system, gqs_exists, strong_system_exists
+from .reliability import MONTE_CARLO_ENGINES, resolve_engine
 
 
 @dataclass
@@ -108,18 +110,43 @@ def _admissibility_shard(spec: ExperimentSpec, shard: ShardSpec) -> Admissibilit
 def _merge_admissibility(
     spec: ExperimentSpec, shard_points: List[AdmissibilityPoint]
 ) -> AdmissibilityPoint:
-    """Merge per-shard classification counts for one grid point."""
+    """Merge per-shard classification counts for one grid point.
+
+    Every shard must carry the grid point's own ``(disconnect_prob,
+    crash_prob)``: a shard routed here from another spec would silently
+    corrupt the counters it is summed into, so a mismatch raises instead.
+    """
     merged = AdmissibilityPoint(
         disconnect_prob=spec.params["disconnect_prob"],
         crash_prob=spec.params["crash_prob"],
         samples=0,
     )
     for point in shard_points:
+        if (
+            point.disconnect_prob != merged.disconnect_prob
+            or point.crash_prob != merged.crash_prob
+        ):
+            raise ReproError(
+                "mis-routed admissibility shard: point for (disconnect={}, crash={}) "
+                "cannot merge into grid point (disconnect={}, crash={})".format(
+                    point.disconnect_prob,
+                    point.crash_prob,
+                    merged.disconnect_prob,
+                    merged.crash_prob,
+                )
+            )
         merged.samples += point.samples
         merged.generalized += point.generalized
         merged.strong += point.strong
         merged.classical += point.classical
     return merged
+
+
+def _admissibility_task(engine: str):
+    """The shard task implementing ``engine`` (see :data:`MONTE_CARLO_ENGINES`)."""
+    from .bitsampler import _admissibility_shard_bitset
+
+    return resolve_engine(engine, _admissibility_shard, _admissibility_shard_bitset)
 
 
 def admissibility_sweep(
@@ -134,12 +161,14 @@ def admissibility_sweep(
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     runner: Optional[ParallelRunner] = None,
+    engine: str = "bitset",
 ) -> List[AdmissibilityPoint]:
     """Classify random fail-prone systems across a channel-failure probability sweep.
 
     Each grid point's sample budget is sharded with deterministic per-shard
     seeds and all shards share one worker pool; the classification counts are
-    independent of ``jobs``.
+    independent of ``jobs`` and of ``engine`` (the bitmask and set engines
+    are sample-for-sample equivalent).
     """
     runner = runner if runner is not None else ParallelRunner(jobs=jobs, progress=progress)
     specs = [
@@ -158,7 +187,7 @@ def admissibility_sweep(
         )
         for disconnect_prob in disconnect_probs
     ]
-    return runner.run_sharded(specs, _admissibility_shard, _merge_admissibility)
+    return runner.run_sharded(specs, _admissibility_task(engine), _merge_admissibility)
 
 
 def admissibility_table(points: Iterable[AdmissibilityPoint]) -> ResultTable:
@@ -253,6 +282,13 @@ def _merge_asymmetric(
     }
 
 
+def _asymmetric_task(engine: str):
+    """The shard task implementing ``engine`` (see :data:`MONTE_CARLO_ENGINES`)."""
+    from .bitsampler import _asymmetric_shard_bitset
+
+    return resolve_engine(engine, _asymmetric_shard, _asymmetric_shard_bitset)
+
+
 def asymmetric_admissibility_sweep(
     n_values: Sequence[int] = (4, 5, 6),
     num_patterns: int = 3,
@@ -263,6 +299,7 @@ def asymmetric_admissibility_sweep(
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     runner: Optional[ParallelRunner] = None,
+    engine: str = "bitset",
 ) -> ResultTable:
     """E6 (second series): admissibility under the asymmetric-partition distribution.
 
@@ -284,7 +321,7 @@ def asymmetric_admissibility_sweep(
         )
         for n in n_values
     ]
-    rows = runner.run_sharded(specs, _asymmetric_shard, _merge_asymmetric)
+    rows = runner.run_sharded(specs, _asymmetric_task(engine), _merge_asymmetric)
     table = ResultTable(
         title="E6: admissibility under asymmetric partitions (GQS vs QS+)",
         columns=["n", "samples", "strong (QS+)", "generalized (GQS)", "gap"],

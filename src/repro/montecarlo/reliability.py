@@ -19,10 +19,32 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from ..analysis.metrics import ResultTable
 from ..engine import DEFAULT_CHUNK_SIZE, ExperimentSpec, ParallelRunner, ShardSpec
 from ..engine.runner import ProgressCallback
+from ..errors import ReproError
 from ..failures import FailProneSystem, FailurePattern
 from ..graph import mutually_reachable
 from ..quorums import GeneralizedQuorumSystem, is_f_available, is_f_reachable
 from ..types import ProcessId, ProcessSet
+
+#: Interchangeable Monte Carlo evaluation engines.  ``"bitset"`` (the default)
+#: samples failure patterns as integer bitmasks and evaluates the predicates
+#: over :class:`~repro.graph.BitsetDiGraph` residual operations
+#: (:mod:`repro.montecarlo.bitsampler`); ``"set"`` is the original
+#: object-per-pattern path, kept as the differential-testing oracle and
+#: benchmark baseline.  Both produce identical counters for identical seeds.
+MONTE_CARLO_ENGINES = ("bitset", "set")
+
+
+def resolve_engine(engine: str, set_task, bitset_task):
+    """Pick the shard task for ``engine``, validating the name."""
+    if engine == "bitset":
+        return bitset_task
+    if engine == "set":
+        return set_task
+    raise ReproError(
+        "unknown Monte Carlo engine {!r}; expected one of {}".format(
+            engine, list(MONTE_CARLO_ENGINES)
+        )
+    )
 
 
 @dataclass
@@ -158,18 +180,43 @@ def _reliability_shard(spec: ExperimentSpec, shard: ShardSpec) -> ReliabilityEst
 def _merge_reliability(
     spec: ExperimentSpec, shard_estimates: List[ReliabilityEstimate]
 ) -> ReliabilityEstimate:
-    """Merge per-shard estimates for one grid point, preserving sample counts."""
+    """Merge per-shard estimates for one grid point, preserving sample counts.
+
+    Every shard must carry the grid point's own ``(crash_prob,
+    disconnect_prob)``: a shard routed here from another spec would silently
+    corrupt the counters it is summed into, so a mismatch raises instead.
+    """
     merged = ReliabilityEstimate(
         crash_prob=spec.params["crash_prob"],
         disconnect_prob=spec.params["disconnect_prob"],
         samples=0,
     )
     for estimate in shard_estimates:
+        if (
+            estimate.crash_prob != merged.crash_prob
+            or estimate.disconnect_prob != merged.disconnect_prob
+        ):
+            raise ReproError(
+                "mis-routed reliability shard: estimate for (crash={}, disconnect={}) "
+                "cannot merge into grid point (crash={}, disconnect={})".format(
+                    estimate.crash_prob,
+                    estimate.disconnect_prob,
+                    merged.crash_prob,
+                    merged.disconnect_prob,
+                )
+            )
         merged.samples += estimate.samples
         merged.gqs_available += estimate.gqs_available
         merged.strong_available += estimate.strong_available
         merged.classical_available += estimate.classical_available
     return merged
+
+
+def _reliability_task(engine: str):
+    """The shard task implementing ``engine`` (see :data:`MONTE_CARLO_ENGINES`)."""
+    from .bitsampler import _reliability_shard_bitset
+
+    return resolve_engine(engine, _reliability_shard, _reliability_shard_bitset)
 
 
 def estimate_reliability(
@@ -181,18 +228,20 @@ def estimate_reliability(
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     runner: Optional[ParallelRunner] = None,
+    engine: str = "bitset",
 ) -> ReliabilityEstimate:
     """Estimate availability of the quorum system's three availability notions.
 
     The sample budget is sharded with deterministic per-shard seeds, so the
     estimate depends only on ``(samples, seed, chunk_size)`` — never on
-    ``jobs``.
+    ``jobs`` and never on ``engine`` (the two engines are sample-for-sample
+    equivalent; ``"set"`` is the slow reference path).
     """
     runner = runner if runner is not None else ParallelRunner(jobs=jobs)
     spec = _reliability_spec(
         quorum_system, crash_prob, disconnect_prob, samples, seed, chunk_size
     )
-    return runner.run(spec, _reliability_shard, _merge_reliability)
+    return runner.run(spec, _reliability_task(engine), _merge_reliability)
 
 
 def reliability_sweep(
@@ -205,6 +254,7 @@ def reliability_sweep(
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     runner: Optional[ParallelRunner] = None,
+    engine: str = "bitset",
 ) -> List[ReliabilityEstimate]:
     """Sweep the disconnection probability, keeping the crash probability fixed.
 
@@ -218,7 +268,7 @@ def reliability_sweep(
         )
         for index, p in enumerate(disconnect_probs)
     ]
-    return runner.run_sharded(specs, _reliability_shard, _merge_reliability)
+    return runner.run_sharded(specs, _reliability_task(engine), _merge_reliability)
 
 
 def reliability_table(estimates: Iterable[ReliabilityEstimate]) -> ResultTable:

@@ -11,10 +11,12 @@ from .classical import (
 from .generalized import (
     GeneralizedQuorumSystem,
     is_f_available,
+    is_f_available_mask,
     is_f_reachable,
+    is_f_reachable_mask,
 )
 from .repair import RepairReport, RepairSuggestion, harden_channels, suggest_channel_repairs
-from .strong import StrongQuorumSystem, strong_system_exists
+from .strong import StrongQuorumSystem, strong_choice_exists, strong_system_exists
 from .discovery import (
     DISCOVERY_ALGORITHMS,
     CandidateQuorumPair,
@@ -24,6 +26,7 @@ from .discovery import (
     classify_fail_prone_system,
     discover_gqs,
     find_gqs,
+    gqs_choice_exists,
     gqs_exists,
     gqs_exists_bruteforce,
 )
@@ -42,15 +45,19 @@ __all__ = [
     "classify_fail_prone_system",
     "discover_gqs",
     "find_gqs",
+    "gqs_choice_exists",
     "gqs_exists",
     "gqs_exists_bruteforce",
     "grid_quorum_system",
     "harden_channels",
     "is_f_available",
+    "is_f_available_mask",
     "is_f_reachable",
+    "is_f_reachable_mask",
     "majority_quorum_system",
     "minimal_quorums",
     "quorum_load",
+    "strong_choice_exists",
     "strong_system_exists",
     "suggest_channel_repairs",
     "threshold_quorum_system",

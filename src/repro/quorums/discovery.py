@@ -332,6 +332,43 @@ def gqs_exists(fail_prone: FailProneSystem) -> bool:
     return discover_gqs(fail_prone, validate=False).exists
 
 
+def gqs_choice_exists(candidates_per_pattern: Sequence[Sequence[Tuple[int, int]]]) -> bool:
+    """Mask-level existence core of the GQS decision.
+
+    ``candidates_per_pattern`` holds, per failure pattern, the canonical
+    ``(read_mask, write_mask)`` candidates — one per residual SCC, the write
+    mask being the component and the read mask ``CanReach_f(S)`` — encoded
+    over one shared :class:`~repro.graph.ProcessIndex`.  A GQS exists iff one
+    candidate can be chosen per pattern with mutual read/write intersections
+    for every pair, exactly the choice problem :func:`discover_gqs` solves;
+    this entry point skips witness construction and is what the Monte Carlo
+    bitset engine runs per sampled system.
+    """
+    if any(not candidates for candidates in candidates_per_pattern):
+        return False
+    order = sorted(
+        range(len(candidates_per_pattern)),
+        key=lambda i: len(candidates_per_pattern[i]),
+    )
+    chosen: List[Tuple[int, int]] = []
+
+    def backtrack(depth: int) -> bool:
+        if depth == len(order):
+            return True
+        for read_mask, write_mask in candidates_per_pattern[order[depth]]:
+            if all(
+                (read_mask & prev_write) and (prev_read & write_mask)
+                for prev_read, prev_write in chosen
+            ):
+                chosen.append((read_mask, write_mask))
+                if backtrack(depth + 1):
+                    return True
+                chosen.pop()
+        return False
+
+    return backtrack(0)
+
+
 def find_gqs(fail_prone: FailProneSystem) -> GeneralizedQuorumSystem:
     """Return a GQS for ``fail_prone`` or raise :class:`NoQuorumSystemExistsError`."""
     result = discover_gqs(fail_prone)

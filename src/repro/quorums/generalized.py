@@ -28,6 +28,7 @@ from ..errors import (
 )
 from ..failures import FailProneSystem, FailurePattern
 from ..graph import (
+    BitsetDiGraph,
     DiGraph,
     mutually_reachable,
     reachable_from,
@@ -79,6 +80,33 @@ def is_f_reachable(
         return False
     residual = fail_prone.residual_graph(pattern)
     return set_reaches_set(residual, r, w)
+
+
+def is_f_available_mask(residual: "BitsetDiGraph", correct_mask: int, quorum_mask: int) -> bool:
+    """Mask-level mirror of :func:`is_f_available`.
+
+    ``residual`` is the pattern's residual graph as a
+    :class:`~repro.graph.BitsetDiGraph` (crashed vertices absent), and the
+    masks are encoded over its :class:`~repro.graph.ProcessIndex`.  Used by
+    the Monte Carlo bitset engine, which never materialises the pattern as a
+    :class:`FailurePattern` at all.
+    """
+    if not quorum_mask:
+        return False
+    if quorum_mask & ~correct_mask:
+        return False
+    return residual.mutually_reachable(quorum_mask)
+
+
+def is_f_reachable_mask(
+    residual: "BitsetDiGraph", correct_mask: int, write_mask: int, read_mask: int
+) -> bool:
+    """Mask-level mirror of :func:`is_f_reachable` (see :func:`is_f_available_mask`)."""
+    if not write_mask or not read_mask:
+        return False
+    if (write_mask | read_mask) & ~correct_mask:
+        return False
+    return residual.set_reaches_set(read_mask, write_mask)
 
 
 class GeneralizedQuorumSystem:

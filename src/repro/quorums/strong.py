@@ -12,7 +12,7 @@ QS+ (experiment E6).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import (
     InvalidQuorumSystemError,
@@ -130,6 +130,39 @@ class StrongQuorumSystem:
         except InvalidQuorumSystemError:
             return False
         return True
+
+
+def strong_choice_exists(components_per_pattern: Sequence[Sequence[int]]) -> bool:
+    """Mask-level core of :func:`strong_system_exists`.
+
+    ``components_per_pattern`` holds, per failure pattern, the strongly
+    connected components of the residual graph as bitmasks over one shared
+    :class:`~repro.graph.ProcessIndex` (e.g.
+    :meth:`~repro.graph.BitsetDiGraph.scc_masks` output).  A QS+ exists iff
+    one component can be chosen per pattern with pairwise non-empty
+    intersections, decided by the same backtracking as the set version; the
+    Monte Carlo bitset engine calls this directly on sampled residual masks.
+    """
+    if any(not components for components in components_per_pattern):
+        return False
+    order = sorted(
+        range(len(components_per_pattern)),
+        key=lambda i: len(components_per_pattern[i]),
+    )
+    chosen: List[int] = []
+
+    def backtrack(depth: int) -> bool:
+        if depth == len(order):
+            return True
+        for component in components_per_pattern[order[depth]]:
+            if all(component & prev for prev in chosen):
+                chosen.append(component)
+                if backtrack(depth + 1):
+                    return True
+                chosen.pop()
+        return False
+
+    return backtrack(0)
 
 
 def strong_system_exists(fail_prone: FailProneSystem) -> bool:

@@ -139,3 +139,132 @@ def test_mutually_reachable_rejects_absent_vertices():
     residual = view.residual(["c"], [])
     assert residual.mutually_reachable(index.mask_of(["a", "b"]))
     assert not residual.mutually_reachable(index.mask_of(["a", "c"]))
+
+
+# --------------------------------------------------------------------- #
+# Failure-pattern mask encoding (the Monte Carlo bitset engine's currency)
+# --------------------------------------------------------------------- #
+def test_failure_masks_round_trip_on_random_fail_prone_systems():
+    from repro.failures import random_fail_prone_system
+
+    for seed in range(15):
+        system = random_fail_prone_system(
+            n=3 + seed % 6,
+            num_patterns=4,
+            crash_prob=0.3,
+            disconnect_prob=0.4,
+            seed=seed,
+        )
+        index = ProcessIndex(system.processes)
+        for pattern in system:
+            crash_mask, succ_clear = index.failure_masks(
+                pattern.crash_prone, pattern.disconnect_prone
+            )
+            assert index.set_of(crash_mask) == pattern.crash_prone
+            assert index.channels_of(succ_clear) == pattern.disconnect_prone
+            # Rows never mention a source with nothing to clear.
+            assert all(row for row in succ_clear.values())
+
+
+def test_residual_masks_equals_named_residual():
+    rng = random.Random(19)
+    for _ in range(20):
+        graph = _random_digraph(rng, rng.randint(3, 9), 0.5)
+        view = BitsetDiGraph.from_digraph(graph)
+        index = view.index
+        vertices = graph.vertices
+        crashed = rng.sample(vertices, rng.randint(0, len(vertices) - 1))
+        channels = [
+            (s, d)
+            for s in vertices
+            for d in vertices
+            if s != d and graph.has_edge(s, d) and rng.random() < 0.4
+        ]
+        by_name = view.residual(crashed, channels)
+        by_mask = view.residual_masks(*index.failure_masks(crashed, channels))
+        assert by_mask.vertex_mask == by_name.vertex_mask
+        for position in range(len(index)):
+            assert by_mask.successor_mask(position) == by_name.successor_mask(position)
+            assert by_mask.predecessor_mask(position) == by_name.predecessor_mask(
+                position
+            )
+
+
+def test_set_reaches_set_matches_connectivity():
+    from repro.graph import set_reaches_set as slow_set_reaches_set
+
+    rng = random.Random(23)
+    for _ in range(20):
+        graph = _random_digraph(rng, rng.randint(2, 8), 0.35)
+        view = BitsetDiGraph.from_digraph(graph)
+        index = view.index
+        for _ in range(6):
+            sources = rng.sample(graph.vertices, rng.randint(0, len(graph.vertices)))
+            targets = rng.sample(graph.vertices, rng.randint(0, len(graph.vertices)))
+            assert view.set_reaches_set(
+                index.mask_of(sources), index.mask_of(targets)
+            ) == slow_set_reaches_set(graph, sources, targets)
+
+
+def test_component_containing_picks_unique_component():
+    from repro.graph import component_containing
+
+    components = [0b0011, 0b0100, 0b1000]
+    assert component_containing(components, 0b0011) == 0b0011
+    assert component_containing(components, 0b0001) == 0b0011
+    assert component_containing(components, 0b1000) == 0b1000
+    assert component_containing(components, 0b0101) is None  # straddles two
+    assert component_containing(components, 0) is None
+
+
+# --------------------------------------------------------------------- #
+# Word-boundary sizes: Python ints are unbounded, but 63/64/65 vertices
+# are where a fixed-width implementation would clip or sign-extend.
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("n", [63, 64, 65])
+def test_word_boundary_ring_reachability(n):
+    names = ["v{:03d}".format(i) for i in range(n)]
+    graph = DiGraph(vertices=names)
+    for i in range(n):
+        graph.add_edge(names[i], names[(i + 1) % n])
+    view = BitsetDiGraph.from_digraph(graph)
+    index = view.index
+    full = (1 << n) - 1
+    assert index.full_mask == full
+    assert popcount(full) == n
+    # Every vertex reaches the whole ring, so the ring is one SCC.
+    assert view.reachable_mask(1) == full
+    assert view.can_reach_mask(1 << (n - 1)) == full
+    assert view.mutually_reachable(full)
+    assert view.scc_masks() == [full]
+    # Crash the top-position vertex: the ring breaks into a path; the
+    # remaining graph has n-1 singleton SCCs and the top bit is gone.
+    top = index.process_at(n - 1)
+    residual = view.residual([top], [])
+    assert residual.vertex_mask == full >> 1
+    assert not residual.mutually_reachable(full >> 1)
+    assert len(residual.scc_masks()) == n - 1
+    # The path still reaches forward from its head across the word boundary.
+    assert residual.reachable_mask(1) == full >> 1
+
+
+@pytest.mark.parametrize("n", [63, 64, 65])
+def test_word_boundary_matches_set_based(n):
+    rng = random.Random(n)
+    names = ["v{:03d}".format(i) for i in range(n)]
+    graph = DiGraph(vertices=names)
+    # Sparse random graph plus a ring to keep things connected enough.
+    for i in range(n):
+        graph.add_edge(names[i], names[(i + 1) % n])
+    for _ in range(2 * n):
+        src, dst = rng.sample(names, 2)
+        graph.add_edge(src, dst)
+    view = BitsetDiGraph.from_digraph(graph)
+    index = view.index
+    probe = rng.sample(names, 5)
+    for v in probe:
+        mask = index.mask_of([v])
+        assert index.set_of(view.reachable_mask(mask)) == reachable_from(graph, [v])
+        assert index.set_of(view.can_reach_mask(mask)) == can_reach(graph, [v])
+    fast = {index.set_of(mask) for mask in view.scc_masks()}
+    assert fast == set(strongly_connected_components(graph))

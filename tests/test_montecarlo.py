@@ -162,3 +162,98 @@ def test_asymmetric_admissibility_sweep_table():
     for row in table.rows:
         assert row["strong (QS+)"] <= row["generalized (GQS)"] + 1e-9
         assert 0.0 <= row["generalized (GQS)"] <= 1.0
+
+
+# --------------------------------------------------------------------- #
+# Shard merging: mis-routed shards must raise, not corrupt counters
+# --------------------------------------------------------------------- #
+def test_merge_reliability_rejects_misrouted_shard():
+    from repro.engine import ExperimentSpec
+    from repro.errors import ReproError
+    from repro.montecarlo.reliability import ReliabilityEstimate, _merge_reliability
+
+    spec = ExperimentSpec(
+        name="rel", samples=10, params={"crash_prob": 0.1, "disconnect_prob": 0.2}
+    )
+    good = ReliabilityEstimate(
+        crash_prob=0.1, disconnect_prob=0.2, samples=5, gqs_available=3
+    )
+    merged = _merge_reliability(spec, [good, good])
+    assert (merged.samples, merged.gqs_available) == (10, 6)
+    stray = ReliabilityEstimate(crash_prob=0.9, disconnect_prob=0.2, samples=5)
+    with pytest.raises(ReproError, match="mis-routed reliability shard"):
+        _merge_reliability(spec, [good, stray])
+
+
+def test_merge_admissibility_rejects_misrouted_shard():
+    from repro.engine import ExperimentSpec
+    from repro.errors import ReproError
+    from repro.montecarlo.comparison import AdmissibilityPoint, _merge_admissibility
+
+    spec = ExperimentSpec(
+        name="adm", samples=8, params={"disconnect_prob": 0.3, "crash_prob": 0.2}
+    )
+    good = AdmissibilityPoint(disconnect_prob=0.3, crash_prob=0.2, samples=4, strong=2)
+    merged = _merge_admissibility(spec, [good, good])
+    assert (merged.samples, merged.strong) == (8, 4)
+    stray = AdmissibilityPoint(disconnect_prob=0.4, crash_prob=0.2, samples=4)
+    with pytest.raises(ReproError, match="mis-routed admissibility shard"):
+        _merge_admissibility(spec, [good, stray])
+
+
+# --------------------------------------------------------------------- #
+# Statistical-shape regression: fixed-seed curves pinned to the values
+# the set-based reference engine produced when this suite was written.
+# The default (bitset) engine must keep reproducing them exactly.
+# --------------------------------------------------------------------- #
+def test_pinned_reliability_counters(figure1_gqs):
+    estimate = estimate_reliability(
+        figure1_gqs, crash_prob=0.1, disconnect_prob=0.3, samples=2000, seed=5
+    )
+    assert estimate.gqs_available == 1682
+    assert estimate.strong_available == 1611
+    assert estimate.classical_available == 1891
+
+
+def test_pinned_admissibility_curve():
+    points = admissibility_sweep(
+        disconnect_probs=(0.0, 0.2, 0.4),
+        n=5,
+        num_patterns=3,
+        crash_prob=0.2,
+        samples=60,
+        seed=3,
+    )
+    assert [(p.generalized, p.strong, p.classical) for p in points] == [
+        (59, 59, 59),
+        (59, 59, 0),
+        (57, 57, 0),
+    ]
+
+
+def test_pinned_asymmetric_curve():
+    from repro.montecarlo import asymmetric_admissibility_sweep
+
+    table = asymmetric_admissibility_sweep(n_values=(4, 5), num_patterns=3, samples=50, seed=2)
+    assert [
+        (row["n"], row["strong (QS+)"], row["generalized (GQS)"]) for row in table.rows
+    ] == [(4, 1.0, 1.0), (5, 0.84, 0.86)]
+
+
+def test_cli_sweep_json_is_hash_seed_independent():
+    """`repro sweep --format json` twice under different hash seeds: the
+    batched engine's output must be a pure function of the seed (extends the
+    PR 4 determinism battery to the Monte Carlo path)."""
+    import sys
+
+    from test_discovery_determinism import _run_under_hash_seed
+
+    argv = [
+        sys.executable, "-m", "repro", "sweep", "all",
+        "--probs", "0.0", "0.3", "--samples", "16", "--n", "4",
+        "--patterns", "2", "--seed", "5", "--format", "json",
+    ]
+    out_a = _run_under_hash_seed("0", argv)
+    out_b = _run_under_hash_seed("7777", argv)
+    assert out_a == out_b
+    assert b'"admissibility"' in out_a and b'"reliability"' in out_a

@@ -1,0 +1,202 @@
+"""Differential battery: the bitset Monte Carlo engine vs the set-based engine.
+
+The bitmask engine (:mod:`repro.montecarlo.bitsampler`) is a faster
+representation of the same experiment, never a different experiment.  These
+tests pin the strongest form of that claim: for identical shard seeds the two
+engines consume the RNG stream draw for draw and therefore produce **the same
+counters on every sample**, not merely statistically compatible estimates.
+The battery runs the samplers head-to-head, sweeps ≥20 random systems and
+configurations through both engines, and checks the public ``sweep`` JSON is
+byte-identical across engines and across ``jobs`` counts.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro import api
+from repro.errors import ReproError
+from repro.failures import FailProneSystem, FailurePattern
+from repro.graph import ProcessIndex
+from repro.montecarlo import (
+    MONTE_CARLO_ENGINES,
+    admissibility_sweep,
+    asymmetric_admissibility_sweep,
+    estimate_reliability,
+    reliability_sweep,
+)
+from repro.montecarlo.bitsampler import (
+    sample_admissibility_masks,
+    sample_reliability_masks,
+)
+from repro.montecarlo.reliability import _sample_pattern, resolve_engine
+from repro.failures.generators import random_failure_pattern
+from repro.quorums import GeneralizedQuorumSystem
+
+
+def _random_quorum_system(rng, n):
+    """A random (not necessarily valid) GQS — reliability estimation never
+    consults validity, only the quorum families."""
+    processes = ["p{}".format(i) for i in range(n)]
+    fail_prone = FailProneSystem(
+        processes, [FailurePattern.crash_only([processes[0]], name="f0")]
+    )
+
+    def family():
+        count = rng.randint(1, 3)
+        return [
+            rng.sample(processes, rng.randint(1, n)) for _ in range(count)
+        ]
+
+    return GeneralizedQuorumSystem(fail_prone, family(), family(), validate=False)
+
+
+# --------------------------------------------------------------------- #
+# Sampler twins: identical RNG stream, identical decoded patterns
+# --------------------------------------------------------------------- #
+def test_reliability_mask_sampler_is_a_stream_twin_of_sample_pattern():
+    processes = ["p{}".format(i) for i in range(6)]
+    index = ProcessIndex(processes)
+    order = [index.position(p) for p in sorted(processes, key=repr)]
+    for seed in range(30):
+        rng_set = random.Random(seed)
+        rng_bit = random.Random(seed)
+        for crash_prob, disconnect_prob in [(0.3, 0.4), (1.0, 0.0), (0.9, 0.9)]:
+            pattern = _sample_pattern(
+                sorted(processes, key=repr), rng_set, crash_prob, disconnect_prob
+            )
+            crash_mask, succ_clear = sample_reliability_masks(
+                order, rng_bit, crash_prob, disconnect_prob
+            )
+            assert index.set_of(crash_mask) == pattern.crash_prone
+            assert index.channels_of(succ_clear) == pattern.disconnect_prone
+            # Not just the same value: the exact same number of draws.
+            assert rng_set.getstate() == rng_bit.getstate()
+
+
+def test_admissibility_mask_sampler_is_a_stream_twin_of_random_pattern():
+    processes = ["p{}".format(i) for i in range(5)]
+    index = ProcessIndex(processes)
+    order = [index.position(p) for p in processes]
+    for seed in range(30):
+        for max_crashes in (None, 1, 2):
+            rng_set = random.Random(seed)
+            rng_bit = random.Random(seed)
+            pattern = random_failure_pattern(
+                processes, rng_set, crash_prob=0.5, disconnect_prob=0.4,
+                max_crashes=max_crashes,
+            )
+            crash_mask, succ_clear = sample_admissibility_masks(
+                order, rng_bit, 0.5, 0.4, max_crashes
+            )
+            assert index.set_of(crash_mask) == pattern.crash_prone
+            assert index.channels_of(succ_clear) == pattern.disconnect_prone
+            assert rng_set.getstate() == rng_bit.getstate()
+
+
+# --------------------------------------------------------------------- #
+# Engine equality on random systems / configurations
+# --------------------------------------------------------------------- #
+def test_reliability_counters_equal_on_random_systems():
+    """≥20 random quorum systems: identical ReliabilityEstimate per engine."""
+    rng = random.Random(2024)
+    for case in range(24):
+        quorum_system = _random_quorum_system(rng, rng.randint(3, 8))
+        crash_prob = rng.choice([0.0, 0.1, 0.3, 0.7, 1.0])
+        disconnect_prob = rng.choice([0.0, 0.2, 0.5, 0.9])
+        seed = rng.randrange(10_000)
+        estimates = {
+            engine: estimate_reliability(
+                quorum_system,
+                crash_prob=crash_prob,
+                disconnect_prob=disconnect_prob,
+                samples=60,
+                seed=seed,
+                engine=engine,
+            )
+            for engine in MONTE_CARLO_ENGINES
+        }
+        assert estimates["bitset"] == estimates["set"], (
+            case, crash_prob, disconnect_prob, seed,
+        )
+
+
+def test_admissibility_counters_equal_on_random_configurations():
+    """≥20 random sweep configurations: identical per-point counters."""
+    rng = random.Random(77)
+    for case in range(22):
+        n = rng.randint(3, 7)
+        config = dict(
+            disconnect_probs=(rng.choice([0.0, 0.3, 0.6, 0.9]),),
+            n=n,
+            num_patterns=rng.randint(1, 4),
+            crash_prob=rng.choice([0.0, 0.2, 0.5, 0.9]),
+            samples=40,
+            max_crashes=rng.choice([None, 1, n - 1]),
+            seed=rng.randrange(10_000),
+        )
+        points = {
+            engine: admissibility_sweep(engine=engine, **config)
+            for engine in MONTE_CARLO_ENGINES
+        }
+        assert points["bitset"] == points["set"], (case, config)
+
+
+def test_asymmetric_sweep_equal_across_engines():
+    tables = {
+        engine: asymmetric_admissibility_sweep(
+            n_values=(3, 4, 5, 6), num_patterns=3, samples=40, seed=9, engine=engine
+        )
+        for engine in MONTE_CARLO_ENGINES
+    }
+    assert tables["bitset"].rows == tables["set"].rows
+
+
+def test_reliability_counters_independent_of_jobs(figure1_gqs):
+    reference = estimate_reliability(
+        figure1_gqs, crash_prob=0.2, disconnect_prob=0.3, samples=96, seed=11, jobs=1
+    )
+    for jobs in (2, 4):
+        for engine in MONTE_CARLO_ENGINES:
+            assert (
+                estimate_reliability(
+                    figure1_gqs,
+                    crash_prob=0.2,
+                    disconnect_prob=0.3,
+                    samples=96,
+                    seed=11,
+                    jobs=jobs,
+                    engine=engine,
+                )
+                == reference
+            )
+
+
+# --------------------------------------------------------------------- #
+# Public sweep JSON: byte-identical across engines and jobs counts
+# --------------------------------------------------------------------- #
+def test_sweep_json_bytes_identical_across_engines_and_jobs():
+    outputs = set()
+    for engine in MONTE_CARLO_ENGINES:
+        for jobs in (1, 2, 4):
+            outcome = api.sweep(
+                kind="all", probs=(0.0, 0.3), n=4, patterns=2, samples=24,
+                seed=5, jobs=jobs, engine=engine,
+            )
+            outputs.add(outcome.to_json().encode("utf-8"))
+    assert len(outputs) == 1
+    payload = json.loads(outputs.pop().decode("utf-8"))
+    assert set(payload) == {"admissibility", "reliability"}
+    assert all(point["samples"] == 24 for point in payload["admissibility"])
+
+
+def test_unknown_engine_is_rejected_everywhere(figure1_gqs):
+    with pytest.raises(ReproError, match="unknown Monte Carlo engine"):
+        resolve_engine("frozenset", None, None)
+    with pytest.raises(ReproError):
+        estimate_reliability(figure1_gqs, samples=4, engine="frozenset")
+    with pytest.raises(ReproError):
+        admissibility_sweep(disconnect_probs=(0.1,), samples=4, engine="frozenset")
+    with pytest.raises(ReproError):
+        asymmetric_admissibility_sweep(n_values=(3,), samples=4, engine="frozenset")
