@@ -75,9 +75,10 @@ def _snapshot_path(directory):
 def _throughput_regressions(results):
     """Throughput metrics that fell more than 2x below the committed seed.
 
-    Only ``*samples_per_sec*`` metrics participate: wall-clock seconds vary
-    with workload sizes between revisions, but a >2x drop in samples/sec on
-    the same test is a real engine regression, not noise.
+    Only ``*samples_per_sec*`` and ``*events_per_sec*`` metrics participate:
+    wall-clock seconds vary with workload sizes between revisions, but a >2x
+    drop in samples/sec (engine) or events/sec (simulator) on the same test
+    is a real regression, not noise.
     """
     try:
         with open(SEED_SNAPSHOT, encoding="utf-8") as handle:
@@ -87,7 +88,7 @@ def _throughput_regressions(results):
     regressions = []
     for name, entry in sorted(results.items()):
         for metric, value in sorted(entry.items()):
-            if "samples_per_sec" not in metric:
+            if "samples_per_sec" not in metric and "events_per_sec" not in metric:
                 continue
             reference = baseline.get(name, {}).get(metric)
             if not isinstance(reference, (int, float)):

@@ -1,0 +1,149 @@
+"""Simulator throughput: the fast path vs the reference scheduler.
+
+Message-heavy discrete-event workloads execute one scheduler event per
+delivered message, so events/sec is the simulator's samples/sec analogue.  Two
+workloads are measured, mirroring the two fast-path lanes:
+
+* **fixed delay** — the delay model preserves FIFO order, so deliveries route
+  through the pooled FIFO short-circuit deque instead of the heap; this is
+  the headline ≥1.5x claim;
+* **uniform delay** — randomized delays stay on the heap and benefit only
+  from event pooling; measured for the snapshot record (no ratio assertion —
+  the heap path's win is allocation churn, not asymptotics).
+
+Like PR 7's engine speedup test, the two paths run interleaved with the best
+of three rounds per side, at *equal output*: every round asserts the processed
+event count identical before any throughput is compared.  The recorded
+``events_per_sec`` metrics feed the conftest regression guard against
+``BENCH_seed.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.sim import FixedDelay, Network, Process, UniformDelay
+from repro.sim.events import FASTPATH_ENV
+
+from conftest import bench_once
+
+import os
+
+RING_SIZE = 8
+TOKENS_PER_PROCESS = 500
+HOPS_PER_TOKEN = 30
+ROUNDS = 3
+
+
+class TokenRing(Process):
+    """Forwards every received token to the next ring member until its TTL ends.
+
+    The handler does near-zero protocol work on purpose: the benchmark should
+    time the scheduler and network transport, not application logic.
+    """
+
+    def __init__(self, pid, network, ring):
+        super().__init__(pid, network)
+        self.ring = ring
+        self.successor = ring[(ring.index(pid) + 1) % len(ring)]
+
+    def on_message(self, sender, message):
+        ttl = message
+        if ttl > 0:
+            self.send(self.successor, ttl - 1)
+
+
+def _run_token_ring(delay_model):
+    network = Network(delay_model=delay_model)
+    ring = ["p{}".format(i) for i in range(RING_SIZE)]
+    processes = {pid: TokenRing(pid, network, ring) for pid in ring}
+    for pid in ring:
+        for _ in range(TOKENS_PER_PROCESS):
+            processes[pid].send(processes[pid].successor, HOPS_PER_TOKEN)
+    start = time.perf_counter()
+    network.run()
+    seconds = time.perf_counter() - start
+    return network.scheduler.events_processed, network.stats.messages_delivered, seconds
+
+
+def _interleaved_events_per_sec(make_delay):
+    """Best-of-ROUNDS events/sec per path, asserting equal event counts."""
+    numbers = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    previous = os.environ.get(FASTPATH_ENV)
+    try:
+        for _ in range(ROUNDS):
+            for label, fastpath in (("reference", "0"), ("fastpath", "1")):
+                os.environ[FASTPATH_ENV] = fastpath
+                events, delivered, seconds = _run_token_ring(make_delay())
+                entry = numbers.setdefault(
+                    label, {"events": events, "delivered": delivered, "seconds": seconds}
+                )
+                assert entry["events"] == events and entry["delivered"] == delivered
+                entry["seconds"] = min(entry["seconds"], seconds)
+                gc.collect()
+    finally:
+        if previous is None:
+            os.environ.pop(FASTPATH_ENV, None)
+        else:
+            os.environ[FASTPATH_ENV] = previous
+        if gc_was_enabled:
+            gc.enable()
+    assert numbers["fastpath"]["events"] == numbers["reference"]["events"]
+    for entry in numbers.values():
+        entry["events_per_sec"] = round(entry["events"] / entry.pop("seconds"), 1)
+    return numbers
+
+
+def test_sim_fixed_delay_message_heavy_speedup(benchmark, bench_numbers):
+    """FIFO lane + pool vs the reference scheduler: ≥1.5x events/sec."""
+    numbers = bench_once(
+        benchmark, _interleaved_events_per_sec, lambda: FixedDelay(1.0)
+    )
+    speedup = numbers["fastpath"]["events_per_sec"] / numbers["reference"]["events_per_sec"]
+    bench_numbers(
+        reference_events_per_sec=numbers["reference"]["events_per_sec"],
+        fastpath_events_per_sec=numbers["fastpath"]["events_per_sec"],
+        events=numbers["reference"]["events"],
+        speedup=round(speedup, 2),
+    )
+    print()
+    print(
+        "sim fixed-delay token ring ({} events): reference {:.0f} -> fastpath {:.0f} "
+        "events/sec ({:.2f}x)".format(
+            numbers["reference"]["events"],
+            numbers["reference"]["events_per_sec"],
+            numbers["fastpath"]["events_per_sec"],
+            speedup,
+        )
+    )
+    assert speedup >= 1.5, numbers
+
+
+def test_sim_uniform_delay_message_heavy_throughput(benchmark, bench_numbers):
+    """The heap lane with pooling: equal event counts, throughput recorded."""
+    numbers = bench_once(
+        benchmark, _interleaved_events_per_sec, lambda: UniformDelay(0.5, 2.0, seed=3)
+    )
+    bench_numbers(
+        reference_events_per_sec=numbers["reference"]["events_per_sec"],
+        fastpath_events_per_sec=numbers["fastpath"]["events_per_sec"],
+        events=numbers["reference"]["events"],
+    )
+    print()
+    print(
+        "sim uniform-delay token ring ({} events): reference {:.0f} -> fastpath {:.0f} "
+        "events/sec".format(
+            numbers["reference"]["events"],
+            numbers["reference"]["events_per_sec"],
+            numbers["fastpath"]["events_per_sec"],
+        )
+    )
+    # Pooling must never make the heap lane slower than the reference path by
+    # more than measurement noise; the hard ratio claim lives on the FIFO lane.
+    assert (
+        numbers["fastpath"]["events_per_sec"]
+        >= 0.8 * numbers["reference"]["events_per_sec"]
+    ), numbers

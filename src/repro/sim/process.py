@@ -158,7 +158,12 @@ class Process:
         self.network = network
         self.crashed = False
         self._waits: List[Tuple[WaitCondition, OperationGenerator, OperationHandle]] = []
-        self._timers: List[Event] = []
+        # Live timers as an insertion-ordered set (dict keys): fired timers
+        # remove themselves, so the structure stays bounded by the number of
+        # *armed* timers even under long periodic runs; cancelled-but-unfired
+        # entries are pruned in amortized O(1) by set_timer.
+        self._timers: Dict[Event, None] = {}
+        self._timer_prune_at = 8
         self._started = False
         self._relay_enabled = False
         self._relay_seq = 0
@@ -185,6 +190,7 @@ class Process:
             timer.cancel()
         self._timers.clear()
         self._waits.clear()
+        self._timer_prune_at = 8
 
     # ------------------------------------------------------------------ #
     # Messaging
@@ -266,13 +272,20 @@ class Process:
         """Run ``callback`` after ``delay`` simulated time units (unless crashed)."""
 
         def fire() -> None:
+            self._timers.pop(event, None)
             if self.crashed:
                 return
             callback()
             self._check_waits()
 
         event = self.network.scheduler.schedule(delay, fire)
-        self._timers.append(event)
+        self._timers[event] = None
+        if len(self._timers) >= self._timer_prune_at:
+            # Fired timers removed themselves, so any dead weight left in the
+            # structure is cancelled-but-unfired timers; drop them and back off
+            # the threshold so pruning stays amortized O(1) per set_timer.
+            self._timers = {e: None for e in self._timers if not e.cancelled}
+            self._timer_prune_at = max(8, 2 * len(self._timers))
         return event
 
     def set_periodic(self, interval: float, callback: Callable[[], None]) -> None:

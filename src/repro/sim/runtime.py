@@ -112,11 +112,21 @@ class Cluster:
     def invoke_at(
         self, time: float, pid: ProcessId, method: str, *args: Any, **kwargs: Any
     ) -> "DeferredInvocation":
-        """Schedule an invocation for simulated time ``time``; returns a deferred handle."""
+        """Schedule an invocation for simulated time ``time``; returns a deferred handle.
+
+        If the process crashed before the scheduled time the invocation never
+        fires: the deferred records ``crashed=True`` and ``done`` stays False
+        (a client cannot start an operation at a dead process), instead of a
+        :class:`~repro.errors.ProcessCrashedError` escaping the scheduler
+        callback and aborting the whole simulation mid-``run()``.
+        """
         self.start()
         deferred = DeferredInvocation(pid, method, args, kwargs)
 
         def fire() -> None:
+            if self.network.is_crashed(pid):
+                deferred.crashed = True
+                return
             handle = self.invoke(pid, method, *args, **kwargs)
             deferred.resolve(handle)
 
@@ -150,12 +160,19 @@ class Cluster:
         """
         self.start()
         watched: Sequence[OperationHandle] = handles if handles is not None else self.handles
+        # Completion is counted through OperationHandle.on_complete instead of
+        # rescanning every handle after every event (O(events x ops) for the
+        # rescan; already-done handles bump the counter immediately).
+        completions = [0]
 
-        def all_done() -> bool:
-            return all(h.done for h in watched)
+        def _count(_handle: OperationHandle) -> None:
+            completions[0] += 1
 
-        self.network.run(max_time=max_time, stop_when=all_done)
-        done = all_done()
+        for handle in watched:
+            handle.on_complete(_count)
+        target = len(watched)
+        self.network.run(max_time=max_time, stop_when=lambda: completions[0] >= target)
+        done = all(h.done for h in watched)
         if require_completion and not done:
             pending = [h for h in watched if not h.done]
             raise OperationTimeoutError(
@@ -195,10 +212,22 @@ class DeferredInvocation:
         self.args = args
         self.kwargs = kwargs
         self.handle: Optional[OperationHandle] = None
+        self.crashed = False
+        self._resolve_callbacks: List[Callable[[OperationHandle], None]] = []
 
     def resolve(self, handle: OperationHandle) -> None:
         """Attach the real operation handle once the invocation fires."""
         self.handle = handle
+        for callback in self._resolve_callbacks:
+            callback(handle)
+        self._resolve_callbacks.clear()
+
+    def on_resolve(self, callback: Callable[[OperationHandle], None]) -> None:
+        """Run ``callback(handle)`` when the invocation fires (immediately if it has)."""
+        if self.handle is not None:
+            callback(self.handle)
+        else:
+            self._resolve_callbacks.append(callback)
 
     @property
     def done(self) -> bool:

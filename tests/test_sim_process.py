@@ -204,3 +204,49 @@ def test_non_relaying_process_unwraps_envelopes():
     sender.send("b", "ping")
     network.run(max_time=10.0)
     assert sender.pongs == ["b"]
+
+
+# --------------------------------------------------------------------------- #
+# Timer bookkeeping stays bounded (regression: fired timers used to accumulate)
+# --------------------------------------------------------------------------- #
+def test_timers_stay_bounded_under_a_long_periodic_run():
+    network, procs = make_cluster()
+    ticks = []
+    procs["a"].set_periodic(1.0, lambda: ticks.append(network.now))
+    network.run(max_time=500.5)
+    assert len(ticks) == 500
+    # One armed timer (the next tick), not one entry per past tick.
+    assert len(procs["a"]._timers) <= 2
+
+
+def test_fired_one_shot_timers_drop_out_of_the_timer_list():
+    network, procs = make_cluster()
+    fired = []
+    for i in range(20):
+        procs["a"].set_timer(float(i + 1), lambda i=i: fired.append(i))
+    network.run()
+    assert fired == list(range(20))
+    assert len(procs["a"]._timers) == 0
+
+
+def test_cancelled_timers_stay_bounded_under_repeated_arm_and_cancel():
+    network, procs = make_cluster()
+    # 100 rounds of arm-10-cancel-10 used to accumulate 1000 dead entries;
+    # the amortized prune keeps the structure bounded by a small constant.
+    for _ in range(100):
+        events = [procs["a"].set_timer(1_000.0, lambda: None) for _ in range(10)]
+        for event in events:
+            event.cancel()
+    assert len(procs["a"]._timers) <= 40
+    network.run(max_time=10.0)
+
+
+def test_crash_still_cancels_pending_timers_after_periodic_run():
+    network, procs = make_cluster()
+    ticks = []
+    procs["a"].set_periodic(1.0, lambda: ticks.append(network.now))
+    network.run(max_time=10.5)
+    network.crash_process("a")
+    network.run(max_time=50.0)
+    assert len(ticks) == 10
+    assert len(procs["a"]._timers) == 0

@@ -115,3 +115,45 @@ def test_apply_failure_pattern_via_cluster():
     handle = cluster.invoke("a", "bump_all")
     cluster.run_until_done([handle], max_time=20.0)
     assert handle.done
+
+
+# --------------------------------------------------------------------------- #
+# invoke_at on a process that crashed first (regression: aborted the run)
+# --------------------------------------------------------------------------- #
+def test_invoke_at_on_a_crashed_process_never_fires_instead_of_aborting():
+    from repro.failures import FailurePattern
+
+    cluster = Cluster(["a", "b", "c"], counter_factory, delay_model=FixedDelay(1.0))
+    cluster.apply_failure_pattern(FailurePattern(["b"]), at_time=2.0)
+    survivor = cluster.invoke_at(1.0, "b", "bump_all")  # fires before the crash
+    victim = cluster.invoke_at(5.0, "b", "bump_all")  # scheduled after the crash
+    bystander = cluster.invoke_at(6.0, "a", "bump_all")
+    # This used to raise ProcessCrashedError out of the scheduler callback,
+    # killing the whole simulation mid-run().
+    cluster.run(max_time=50.0)
+    assert survivor.handle is not None
+    assert victim.handle is None
+    assert victim.crashed
+    assert not victim.done
+    assert bystander.done
+
+
+def test_deferred_on_resolve_fires_on_invocation_and_immediately_when_late():
+    cluster = Cluster(["a", "b"], counter_factory, delay_model=FixedDelay(1.0))
+    deferred = cluster.invoke_at(2.0, "a", "bump_all")
+    seen = []
+    deferred.on_resolve(lambda handle: seen.append(handle.kind))
+    cluster.run(max_time=20.0)
+    assert seen == ["bump_all"]
+    late = []
+    deferred.on_resolve(lambda handle: late.append(handle.done))
+    assert late == [True]
+
+
+def test_run_until_done_counts_completions_of_already_done_handles():
+    cluster = Cluster(["a", "b"], counter_factory, delay_model=FixedDelay(1.0))
+    first = cluster.invoke("a", "bump_all")
+    assert cluster.run_until_done([first], max_time=50.0)
+    # A second call watching the already-done handle returns immediately.
+    assert cluster.run_until_done([first], max_time=50.0)
+    assert cluster.run_until_done([], max_time=50.0)
