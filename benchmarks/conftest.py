@@ -72,13 +72,26 @@ def _snapshot_path(directory):
     return os.path.join(directory, "BENCH_{}.json".format(label))
 
 
-def _throughput_regressions(results):
-    """Throughput metrics that fell more than 2x below the committed seed.
+#: Guarded metric-name substrings where bigger numbers are better; a value
+#: falling more than 2x below the committed seed is a regression.
+HIGHER_IS_BETTER = ("samples_per_sec", "events_per_sec", "reuse_fraction")
 
-    Only ``*samples_per_sec*`` and ``*events_per_sec*`` metrics participate:
-    wall-clock seconds vary with workload sizes between revisions, but a >2x
-    drop in samples/sec (engine) or events/sec (simulator) on the same test
-    is a real regression, not noise.
+#: Guarded metric-name substrings where smaller numbers are better (search
+#: effort); a value growing more than 2x above the committed seed is a
+#: regression.  ``max(reference, 1)`` keeps a perfect seed of 0 explored
+#: nodes from flagging every nonzero future value.
+LOWER_IS_BETTER = ("nodes_explored",)
+
+
+def _throughput_regressions(results):
+    """Guarded metrics that moved more than 2x past the committed seed.
+
+    Wall-clock seconds vary with workload sizes between revisions, so the
+    guard only watches workload-independent counters: throughput metrics
+    (``*samples_per_sec*``, ``*events_per_sec*``), the watch-mode
+    ``*reuse_fraction*`` (all higher-is-better: a >2x drop is a regression)
+    and discovery search effort (``*nodes_explored*``, lower-is-better: a
+    >2x growth is a regression).
     """
     try:
         with open(SEED_SNAPSHOT, encoding="utf-8") as handle:
@@ -88,12 +101,16 @@ def _throughput_regressions(results):
     regressions = []
     for name, entry in sorted(results.items()):
         for metric, value in sorted(entry.items()):
-            if "samples_per_sec" not in metric and "events_per_sec" not in metric:
+            if not isinstance(value, (int, float)):
                 continue
             reference = baseline.get(name, {}).get(metric)
             if not isinstance(reference, (int, float)):
                 continue
-            if isinstance(value, (int, float)) and value * 2 < reference:
+            higher = any(tag in metric for tag in HIGHER_IS_BETTER)
+            lower = any(tag in metric for tag in LOWER_IS_BETTER)
+            if higher and value * 2 < reference:
+                regressions.append((name, metric, value, reference))
+            elif lower and value > max(reference, 1) * 2:
                 regressions.append((name, metric, value, reference))
     return regressions
 

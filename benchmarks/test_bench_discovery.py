@@ -187,3 +187,102 @@ def test_e7_single_discovery_microbenchmark(benchmark):
     system = figure1_fail_prone_system()
     result = benchmark(discover_gqs, system)
     assert result.exists
+
+
+def test_e7_quotient_vs_full_at_production_scale(benchmark, bench_numbers):
+    """Symmetry-quotiented discovery certifies n >= 1000; full is the baseline.
+
+    The rotating-window threshold family is the production-scale symmetric
+    family whose patterns stay cheap to *construct* at n >= 1000 (crash-only
+    windows; the island families of the zoned/multi-region builders carry
+    ~n^2 explicit channels per pattern, so building them — not searching
+    them — is what stops scaling first).  Both algorithms must agree on the
+    verdict and the witness; the quotient must explore >= 10x fewer nodes,
+    which is the acceptance bar of the symmetry rework.
+    """
+    size, window = 1008, 48
+
+    def experiment():
+        quotient_system = large_threshold_system(n=size, max_crashes=window)
+        started = time.perf_counter()
+        quotient = discover_gqs(quotient_system, validate=False, algorithm="quotient")
+        quotient_seconds = time.perf_counter() - started
+
+        full_system = large_threshold_system(n=size, max_crashes=window)
+        started = time.perf_counter()
+        full = discover_gqs(full_system, validate=False, algorithm="full")
+        full_seconds = time.perf_counter() - started
+        return quotient, quotient_seconds, full, full_seconds
+
+    quotient, quotient_seconds, full, full_seconds = bench_once(benchmark, experiment)
+    table = ResultTable(
+        title="E7: quotient vs full discovery at n={}".format(size),
+        columns=["algorithm", "nodes explored", "pattern orbits", "candidates permuted", "seconds"],
+    )
+    table.add_row(
+        algorithm="full",
+        **{"nodes explored": full.nodes_explored, "pattern orbits": "-",
+           "candidates permuted": "-", "seconds": round(full_seconds, 3)},
+    )
+    table.add_row(
+        algorithm="quotient",
+        **{"nodes explored": quotient.nodes_explored,
+           "pattern orbits": quotient.pattern_orbits,
+           "candidates permuted": quotient.candidates_permuted,
+           "seconds": round(quotient_seconds, 3)},
+    )
+    print()
+    print(table)
+    assert full.exists and quotient.exists
+    assert {f: (c.read_quorum, c.write_quorum) for f, c in full.choices.items()} == {
+        f: (c.read_quorum, c.write_quorum) for f, c in quotient.choices.items()
+    }
+    assert full.nodes_explored >= 10 * max(1, quotient.nodes_explored)
+    bench_numbers(
+        full_nodes_explored=full.nodes_explored,
+        quotient_nodes_explored=quotient.nodes_explored,
+        pattern_orbits=quotient.pattern_orbits,
+        candidates_permuted=quotient.candidates_permuted,
+        node_ratio=round(full.nodes_explored / max(1, quotient.nodes_explored), 1),
+    )
+
+
+def test_e7_churn_recertification_reuse(benchmark, bench_numbers):
+    """A single join delta on n >= 500 recertifies with >= 90% candidate reuse.
+
+    The join quarantines the newcomer (it lands in every pattern's crash set),
+    so every pattern's residual structure survives modulo re-indexing and the
+    watch-mode cache remapper must adopt all of it instead of recomputing.
+    """
+    from repro.quorums import MembershipDelta, watch_deltas
+
+    def experiment():
+        system = large_threshold_system(n=504, max_crashes=24)
+        started = time.perf_counter()
+        outcome = watch_deltas(system, [MembershipDelta(op="join", process="z-new")])
+        return outcome, time.perf_counter() - started
+
+    outcome, seconds = bench_once(benchmark, experiment)
+    (verdict,) = outcome.verdicts
+    table = ResultTable(
+        title="E7: recertification after one join on n=504",
+        columns=["delta", "exists", "patterns", "reused", "reuse", "seconds"],
+    )
+    table.add_row(
+        delta=verdict.delta.describe(),
+        exists=verdict.result.exists,
+        patterns=verdict.patterns_total,
+        reused=verdict.candidates_reused,
+        reuse="{:.1%}".format(verdict.reuse_fraction),
+        seconds=round(seconds, 3),
+    )
+    print()
+    print(table)
+    assert outcome.initial_result is not None and outcome.initial_result.exists
+    assert verdict.result.exists
+    assert verdict.reuse_fraction >= 0.9
+    bench_numbers(
+        churn_reuse_fraction=round(verdict.reuse_fraction, 6),
+        churn_candidates_reused=verdict.candidates_reused,
+        churn_patterns_total=verdict.patterns_total,
+    )

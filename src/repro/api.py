@@ -64,10 +64,14 @@ from .montecarlo import (
 from .quorums import (
     DiscoveryResult,
     GeneralizedQuorumSystem,
+    MembershipDelta,
     RepairReport,
+    WatchOutcome,
     classify_fail_prone_system,
     discover_gqs,
+    load_deltas,
     suggest_channel_repairs,
+    watch_deltas,
 )
 from .registry import CHECKERS, PROTOCOLS, loaded_plugins, plugin_contributions
 from .scenarios import (
@@ -142,10 +146,13 @@ def _pattern_label(pattern: FailurePattern, position: int) -> str:
 # Quorum-decision toolbox
 # ---------------------------------------------------------------------- #
 def discover(
-    system: FailProneSystem, algorithm: str = "pruned", validate: bool = True
+    system: FailProneSystem,
+    algorithm: str = "pruned",
+    validate: bool = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> DiscoveryResult:
     """Run the GQS decision procedure (Theorem 2) on ``system``."""
-    return discover_gqs(system, validate=validate, algorithm=algorithm)
+    return discover_gqs(system, validate=validate, algorithm=algorithm, progress=progress)
 
 
 @dataclass
@@ -176,21 +183,36 @@ class DiscoveryReport:
         return rows
 
     def to_dict(self) -> Dict[str, Any]:
-        """The canonical JSON payload (byte-identical across hash seeds)."""
-        return {
+        """The canonical JSON payload (byte-identical across hash seeds).
+
+        The quotient-only accounting keys are emitted only for
+        ``algorithm="quotient"`` so the default payload stays byte-identical
+        to earlier releases (the golden CLI test pins it).
+        """
+        payload = {
             "system": _system_summary(self.system),
             "algorithm": self.result.algorithm,
             "exists": self.result.exists,
             "nodes_explored": self.result.nodes_explored,
             "patterns": self.rows,
         }
+        if self.result.algorithm == "quotient":
+            payload["pattern_orbits"] = self.result.pattern_orbits
+            payload["candidates_permuted"] = self.result.candidates_permuted
+        return payload
 
 
 def discovery_report(
-    system: FailProneSystem, algorithm: str = "pruned", validate: bool = False
+    system: FailProneSystem,
+    algorithm: str = "pruned",
+    validate: bool = False,
+    progress: Optional[ProgressCallback] = None,
 ) -> DiscoveryReport:
     """:func:`discover` wrapped with the witness rows the CLI renders."""
-    return DiscoveryReport(system, discover_gqs(system, validate=validate, algorithm=algorithm))
+    return DiscoveryReport(
+        system,
+        discover_gqs(system, validate=validate, algorithm=algorithm, progress=progress),
+    )
 
 
 @dataclass
@@ -246,6 +268,65 @@ def repair(
         system, max_channels=max_channels, max_suggestions=max_suggestions
     )
     return RepairOutcome(system, report)
+
+
+@dataclass
+class WatchReport:
+    """A :class:`~repro.quorums.WatchOutcome` with its display/JSON projections."""
+
+    outcome: WatchOutcome
+
+    @property
+    def all_exist(self) -> bool:
+        return self.outcome.all_exist
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """One row per delta: verdict, search effort and reuse accounting."""
+        rows = []
+        for verdict in self.outcome.verdicts:
+            rows.append(
+                {
+                    "delta": verdict.delta.describe(),
+                    "exists": verdict.result.exists,
+                    "nodes": verdict.result.nodes_explored,
+                    "reused": "{}/{}".format(
+                        verdict.candidates_reused, verdict.patterns_total
+                    ),
+                    "reuse": "{:.1%}".format(verdict.reuse_fraction),
+                }
+            )
+        return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical JSON payload (byte-identical across hash seeds)."""
+        initial = self.outcome.initial_result
+        return {
+            "system": _system_summary(self.outcome.initial),
+            "algorithm": self.outcome.algorithm,
+            "initial_exists": None if initial is None else initial.exists,
+            "all_exist": self.outcome.all_exist,
+            "final_num_processes": len(self.outcome.final.processes),
+            "deltas": [verdict.to_dict() for verdict in self.outcome.verdicts],
+        }
+
+
+def watch_quorums(
+    system: FailProneSystem,
+    deltas: Union[str, Sequence[MembershipDelta]],
+    algorithm: str = "pruned",
+) -> WatchReport:
+    """Recertify GQS existence after each membership delta in ``deltas``.
+
+    ``deltas`` is either a path to a JSONL membership-delta stream (see
+    :mod:`repro.quorums.incremental` for the format) or a sequence of
+    :class:`~repro.quorums.MembershipDelta` objects.  Each delta's
+    recertification reuses every per-pattern structure the delta preserved,
+    which is what makes watching a large deployment cheap.
+    """
+    if isinstance(deltas, str):
+        deltas = load_deltas(deltas)
+    return WatchReport(watch_deltas(system, deltas, algorithm=algorithm))
 
 
 # ---------------------------------------------------------------------- #

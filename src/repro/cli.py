@@ -142,9 +142,9 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _stderr_progress(label: str, done: int, total: int) -> None:
-    """Chunked shard-progress line for long sweeps (stderr, overwritten in place)."""
-    sys.stderr.write("\r{}: {}/{} shards".format(label, done, total))
+def _stderr_progress(label: str, done: int, total: int, unit: str = "shards") -> None:
+    """Chunked progress line for long sweeps (stderr, overwritten in place)."""
+    sys.stderr.write("\r{}: {}/{} {}".format(label, done, total, unit))
     if done >= total:
         sys.stderr.write("\n")
     sys.stderr.flush()
@@ -214,7 +214,15 @@ def cmd_check(args: argparse.Namespace) -> int:
 # quorums
 # ---------------------------------------------------------------------- #
 def cmd_quorums_discover(args: argparse.Namespace) -> int:
-    report = api.discovery_report(_resolve_system(args), algorithm=args.algorithm)
+    report = api.discovery_report(
+        _resolve_system(args),
+        algorithm=args.algorithm,
+        progress=(
+            functools.partial(_stderr_progress, "discover", unit="patterns")
+            if args.progress
+            else None
+        ),
+    )
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
         return 0 if report.exists else 2
@@ -227,6 +235,8 @@ def cmd_quorums_discover(args: argparse.Namespace) -> int:
         print()
         print("algorithm         :", report.result.algorithm)
         print("nodes explored    :", report.result.nodes_explored)
+        if report.result.algorithm == "quotient":
+            print("pattern orbits    :", report.result.pattern_orbits)
         return 2
     table = ResultTable(
         title="GQS witness (one candidate per failure pattern)",
@@ -246,7 +256,31 @@ def cmd_quorums_discover(args: argparse.Namespace) -> int:
     print("GQS exists        : True")
     print("algorithm         :", report.result.algorithm)
     print("nodes explored    :", report.result.nodes_explored)
+    if report.result.algorithm == "quotient":
+        print("pattern orbits    :", report.result.pattern_orbits)
+        print("candidates permuted:", report.result.candidates_permuted)
     return 0
+
+
+def cmd_quorums_watch(args: argparse.Namespace) -> int:
+    report = api.watch_quorums(
+        _resolve_system(args), args.deltas, algorithm=args.algorithm
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.all_exist else 2
+    print(report.outcome.initial.describe())
+    print()
+    table = ResultTable(
+        title="Recertification under membership churn",
+        columns=["delta", "exists", "nodes", "reused", "reuse"],
+    )
+    for row in report.rows:
+        table.add_row(**row)
+    print(table.to_text())
+    print()
+    print("all deltas tolerable:", report.all_exist)
+    return 0 if report.all_exist else 2
 
 
 def cmd_quorums_classify(args: argparse.Namespace) -> int:
@@ -661,11 +695,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm",
         choices=list(DISCOVERY_ALGORITHMS),
         default="pruned",
-        help="search strategy: 'pruned' (bitmask forward checking, default) or "
+        help="search strategy: 'pruned' (bitmask forward checking, default), "
+        "'full' (alias of pruned), 'quotient' (symmetry-quotiented search) or "
         "'naive' (the reference backtracker)",
+    )
+    quorums_discover.add_argument(
+        "--progress",
+        action="store_true",
+        help="report per-pattern candidate-enumeration progress on stderr",
     )
     quorums_discover.add_argument("--format", choices=["table", "json"], default="table")
     quorums_discover.set_defaults(func=cmd_quorums_discover)
+
+    quorums_watch = quorums_sub.add_parser(
+        "watch",
+        help="recertify GQS existence after each membership delta in a JSONL stream",
+    )
+    _add_system_arguments(quorums_watch)
+    quorums_watch.add_argument(
+        "deltas",
+        help="path to a JSONL membership-delta stream "
+        '(one {"op": ..., ...} object per line; ops: join, leave, suspect, '
+        "trust, suspect-channel, trust-channel)",
+    )
+    quorums_watch.add_argument(
+        "--algorithm",
+        choices=list(DISCOVERY_ALGORITHMS),
+        default="pruned",
+        help="search strategy used for each recertification (default 'pruned')",
+    )
+    quorums_watch.add_argument("--format", choices=["table", "json"], default="table")
+    quorums_watch.set_defaults(func=cmd_quorums_watch)
 
     quorums_classify = quorums_sub.add_parser(
         "classify",

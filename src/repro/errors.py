@@ -22,6 +22,10 @@ class InvalidFailurePatternError(ReproError):
     """
 
 
+class InvalidSymmetryError(ReproError):
+    """A declared symmetry generator is not an automorphism of the system."""
+
+
 class InvalidQuorumSystemError(ReproError):
     """A (classical or generalized) quorum system violates its definition."""
 

@@ -1,6 +1,7 @@
 """Failure model: failure patterns and fail-prone systems (paper §2)."""
 
 from .pattern import NO_FAILURES, FailurePattern
+from .symmetry import SymmetryGroup, block_permutation
 from .failprone import FailProneSystem
 from .generators import (
     TOPOLOGY_KINDS,
@@ -20,9 +21,11 @@ __all__ = [
     "NO_FAILURES",
     "FailurePattern",
     "FailProneSystem",
+    "SymmetryGroup",
     "TOPOLOGY_KINDS",
     "adversarial_partition_system",
     "all_crash_patterns",
+    "block_permutation",
     "build_fail_prone_system",
     "builtin_fail_prone_system",
     "geo_replicated_system",

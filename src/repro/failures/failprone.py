@@ -14,9 +14,10 @@ import itertools
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import InvalidFailurePatternError
-from ..graph import BitsetDiGraph, DiGraph, ProcessIndex
+from ..graph import BitsetDiGraph, DiGraph, MaskPermutation, ProcessIndex, iter_bits
 from ..types import Channel, ProcessId, ProcessSet, sorted_processes
 from .pattern import FailurePattern
+from .symmetry import SymmetryGroup
 
 
 class FailProneSystem:
@@ -35,6 +36,12 @@ class FailProneSystem:
         be supplied to model restricted physical topologies.
     name:
         Optional label used in reports.
+    symmetry:
+        Optional declared :class:`~repro.failures.symmetry.SymmetryGroup`.
+        Every generator must map the network graph and the pattern family onto
+        themselves — this is validated at construction, so downstream
+        consumers (the quotiented discovery search, orbit reporting) may rely
+        on it without re-checking.
     """
 
     def __init__(
@@ -43,6 +50,7 @@ class FailProneSystem:
         patterns: Iterable[FailurePattern],
         graph: Optional[DiGraph] = None,
         name: Optional[str] = None,
+        symmetry: Optional[SymmetryGroup] = None,
     ) -> None:
         self._processes = frozenset(processes)
         if not self._processes:
@@ -75,6 +83,9 @@ class FailProneSystem:
                         "pattern {!r} disconnects channel ({!r}, {!r}) "
                         "that does not exist in the network graph".format(f, src, dst)
                     )
+        self._symmetry = symmetry if symmetry is not None and not symmetry.is_trivial() else None
+        if self._symmetry is not None:
+            self._symmetry.validate_for(self._processes, self._graph, self._patterns)
         # Lazily populated derived state.  The decision procedure re-derives
         # the same residual graphs and candidate structures for every pattern
         # over and over (discovery, repair, classification, availability
@@ -97,8 +108,29 @@ class FailProneSystem:
 
     @property
     def graph(self) -> DiGraph:
-        """The network graph ``G = (P, C)`` (a defensive copy)."""
+        """The network graph ``G = (P, C)`` (a defensive copy).
+
+        Copying keeps external callers from mutating the graph behind the
+        memoized residual/candidate caches; in-tree hot loops that only *read*
+        the graph use :attr:`graph_view` instead so that large-``n`` discovery
+        and reliability sampling never re-copy the network per pattern.
+        """
         return self._graph.copy()
+
+    @property
+    def graph_view(self) -> DiGraph:
+        """The network graph as a shared read-only view (never mutate it).
+
+        Mutating the returned graph would silently invalidate every memoized
+        residual graph and candidate structure; use :attr:`graph` when a
+        mutable copy is needed.
+        """
+        return self._graph
+
+    @property
+    def symmetry(self) -> Optional[SymmetryGroup]:
+        """The declared (validated) symmetry group, if any."""
+        return self._symmetry
 
     @property
     def patterns(self) -> Tuple[FailurePattern, ...]:
@@ -187,17 +219,7 @@ class FailProneSystem:
         if self._bitset_graph is None:
             self._bitset_graph = other._bitset_graph
         own_patterns = set(self._patterns)
-        adopted = 0
-        for pattern in own_patterns:
-            if pattern in other._residual_cache and pattern not in self._residual_cache:
-                self._residual_cache[pattern] = other._residual_cache[pattern]
-                adopted += 1
-            if (
-                pattern in other._residual_bitset_cache
-                and pattern not in self._residual_bitset_cache
-            ):
-                self._residual_bitset_cache[pattern] = other._residual_bitset_cache[pattern]
-                adopted += 1
+        adopted = self.adopt_pattern_caches(other, {f: f for f in own_patterns})
         for namespace, entries in other._analysis_caches.items():
             own = self.analysis_cache(namespace)
             for key, value in entries.items():
@@ -205,6 +227,68 @@ class FailProneSystem:
                     own[key] = value
                     adopted += 1
         return adopted
+
+    def adopt_pattern_caches(
+        self,
+        other: "FailProneSystem",
+        pattern_map: Dict[FailurePattern, FailurePattern],
+        permutation: Optional[MaskPermutation] = None,
+    ) -> int:
+        """Adopt ``other``'s memoized residual structures under remapped keys.
+
+        ``pattern_map`` sends a pattern of ``self`` to the pattern of
+        ``other`` whose residual structure it shares; ``permutation`` (old bit
+        positions → new bit positions, see
+        :meth:`~repro.graph.ProcessIndex.permutation_to`) re-indexes the
+        bitmask views when the process sets differ.  The *caller* guarantees
+        the structural equality — this is the delta-aware core of
+        :meth:`warm_caches_from`, used by :mod:`repro.quorums.incremental` to
+        carry caches across membership deltas where the plain warm path's
+        "same processes, same graph" precondition no longer holds.
+
+        Residual :class:`~repro.graph.DiGraph` objects are process-id based
+        and adopted as shared objects; residual bitmask views are shared when
+        ``permutation`` is the identity and rebuilt through it otherwise.
+        Returns the number of adopted entries.
+        """
+        identity = permutation is None or permutation.is_identity()
+        adopted = 0
+        for new_pattern, old_pattern in pattern_map.items():
+            if new_pattern not in self._residual_cache:
+                residual = other._residual_cache.get(old_pattern)
+                if residual is not None:
+                    self._residual_cache[new_pattern] = residual
+                    adopted += 1
+            if new_pattern not in self._residual_bitset_cache:
+                bitset = other._residual_bitset_cache.get(old_pattern)
+                if bitset is not None:
+                    if not identity:
+                        bitset = self._remap_residual_bitset(bitset, permutation)
+                    self._residual_bitset_cache[new_pattern] = bitset
+                    adopted += 1
+        return adopted
+
+    def _remap_residual_bitset(
+        self, residual: BitsetDiGraph, permutation: MaskPermutation
+    ) -> BitsetDiGraph:
+        """Re-index a residual bitmask view onto this system's process index.
+
+        Only valid when every vertex present in ``residual`` maps to a process
+        of this system (the cache-remap contract: departed processes are
+        crashed, hence absent, in every remapped residual).
+        """
+        index = self.process_index
+        n = len(index)
+        succ = [0] * n
+        pred = [0] * n
+        perm = permutation.perm
+        for i in iter_bits(residual.vertex_mask):
+            j = perm[i]
+            succ[j] = permutation.apply(residual.successor_mask(i))
+            pred[j] = permutation.apply(residual.predecessor_mask(i))
+        return BitsetDiGraph(
+            index, permutation.apply(residual.vertex_mask), succ, pred
+        )
 
     def correct_processes(self, pattern: FailurePattern) -> ProcessSet:
         """Processes correct under ``pattern``."""

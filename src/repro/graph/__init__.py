@@ -1,7 +1,17 @@
 """Directed-graph substrate: the network graph and residual-graph algorithms."""
 
 from .digraph import DiGraph
-from .bitset import BitsetDiGraph, ProcessIndex, component_containing, iter_bits, popcount
+from .bitset import (
+    BitsetDiGraph,
+    MaskPermutation,
+    ProcessIndex,
+    canonical_orbit_mask,
+    component_containing,
+    iter_bits,
+    orbit_of_mask,
+    permute_mask,
+    popcount,
+)
 from .connectivity import (
     can_reach,
     condensation,
@@ -18,14 +28,18 @@ from .connectivity import (
 __all__ = [
     "BitsetDiGraph",
     "DiGraph",
+    "MaskPermutation",
     "ProcessIndex",
     "can_reach",
+    "canonical_orbit_mask",
     "component_containing",
     "condensation",
     "has_path",
     "is_strongly_connected",
     "iter_bits",
     "mutually_reachable",
+    "orbit_of_mask",
+    "permute_mask",
     "popcount",
     "reachable_from",
     "scc_of",

@@ -59,6 +59,137 @@ def component_containing(components: Sequence[int], mask: int) -> Optional[int]:
     return None
 
 
+def permute_mask(mask: int, perm: Sequence[int]) -> int:
+    """Apply a bit-position permutation to ``mask`` (reference implementation).
+
+    ``perm[i]`` is the image position of bit ``i``.  Bits at positions not
+    covered by ``perm`` must be clear.  :class:`MaskPermutation` is the batched
+    fast path; this per-bit loop is its differential-testing oracle.
+    """
+    image = 0
+    for i in iter_bits(mask):
+        image |= 1 << perm[i]
+    return image
+
+
+class MaskPermutation:
+    """A bit-position permutation applied to masks via per-word lookup tables.
+
+    The permutation is compiled once into one 256-entry table per input byte
+    (``perm`` restricted to that byte, images pre-shifted into place), so
+    applying it to a mask costs ``⌈n/8⌉`` table lookups instead of a Python
+    loop over set bits — the quotiented discovery path permutes thousands of
+    candidate masks per orbit, and the watch-mode cache remapper re-indexes
+    every memoized structure of a system on a membership delta.
+    """
+
+    __slots__ = ("_perm", "_tables")
+
+    #: Input bits consumed per lookup table (one table per byte of the mask).
+    WORD_BITS = 8
+
+    def __init__(self, perm: Sequence[int]) -> None:
+        n = len(perm)
+        if sorted(perm) != list(range(n)):
+            raise ValueError("perm must be a permutation of 0..{}".format(n - 1))
+        self._perm: Tuple[int, ...] = tuple(perm)
+        # Tables are built lazily on the first ``apply``: orbit transports are
+        # composed in bulk but many are applied to only a handful of masks
+        # (use :func:`permute_mask` for those), and paying ~32 table entries
+        # per domain bit up front would dominate quotient discovery at large n.
+        self._tables: Optional[List[List[int]]] = None
+
+    def _build_tables(self) -> List[List[int]]:
+        word = self.WORD_BITS
+        tables: List[List[int]] = []
+        for base in range(0, len(self._perm), word):
+            chunk = self._perm[base : base + word]
+            table = [0] * (1 << len(chunk))
+            for value in range(1, len(table)):
+                low = value & -value
+                bit = low.bit_length() - 1
+                table[value] = table[value ^ low] | (1 << chunk[bit])
+            tables.append(table)
+        self._tables = tables
+        return tables
+
+    def __len__(self) -> int:
+        return len(self._perm)
+
+    @property
+    def perm(self) -> Tuple[int, ...]:
+        """The underlying position mapping (``perm[i]`` = image of bit ``i``)."""
+        return self._perm
+
+    def apply(self, mask: int) -> int:
+        """The image of ``mask`` under the permutation."""
+        if mask >> len(self._perm):
+            raise ValueError("mask has bits outside the permutation's domain")
+        image = 0
+        word = self.WORD_BITS
+        tables = self._tables
+        if tables is None:
+            tables = self._build_tables()
+        for table in tables:
+            if not mask:
+                break
+            image |= table[mask & 0xFF]
+            mask >>= word
+        return image
+
+    def inverse(self) -> "MaskPermutation":
+        """The inverse permutation (``inverse().apply(apply(m)) == m``)."""
+        inv = [0] * len(self._perm)
+        for i, j in enumerate(self._perm):
+            inv[j] = i
+        return MaskPermutation(inv)
+
+    def compose(self, other: "MaskPermutation") -> "MaskPermutation":
+        """The permutation applying ``other`` first, then ``self``."""
+        if len(other) != len(self._perm):
+            raise ValueError("cannot compose permutations of different sizes")
+        return MaskPermutation([self._perm[j] for j in other.perm])
+
+    def is_identity(self) -> bool:
+        """Whether the permutation maps every position to itself."""
+        return all(i == j for i, j in enumerate(self._perm))
+
+    def __repr__(self) -> str:
+        return "MaskPermutation(n={})".format(len(self._perm))
+
+
+def orbit_of_mask(mask: int, permutations: Sequence["MaskPermutation"]) -> FrozenSet[int]:
+    """The orbit of ``mask`` under the group generated by ``permutations``.
+
+    Breadth-first closure over the generator set; the orbit size is bounded by
+    the group order, which stays small for the declared symmetries in this
+    repository (rotations and zone/region permutations).
+    """
+    seen = {mask}
+    frontier = [mask]
+    while frontier:
+        grown = []
+        for m in frontier:
+            for permutation in permutations:
+                image = permutation.apply(m)
+                if image not in seen:
+                    seen.add(image)
+                    grown.append(image)
+        frontier = grown
+    return frozenset(seen)
+
+
+def canonical_orbit_mask(mask: int, permutations: Sequence["MaskPermutation"]) -> int:
+    """The canonical representative of a mask orbit: its smallest integer image.
+
+    Deterministic by construction (integer minimum over the closure), hence
+    independent of hash seeds and of the generator order.
+    """
+    if not permutations:
+        return mask
+    return min(orbit_of_mask(mask, permutations))
+
+
 class ProcessIndex:
     """A fixed, deterministic process ↔ bit-position mapping.
 
@@ -132,6 +263,31 @@ class ProcessIndex:
             i = positions[src]
             rows[i] = rows.get(i, 0) | (1 << positions[dst])
         return self.mask_of(crashed), rows
+
+    def permutation_to(self, other: "ProcessIndex") -> "MaskPermutation":
+        """A mask permutation carrying this index's bit positions onto ``other``'s.
+
+        Shared processes map position to position; positions of processes
+        absent from ``other`` are assigned the leftover codomain slots (the
+        permutation acts on ``max(len(self), len(other))`` positions so it
+        stays a bijection).  A mask that only mentions shared processes
+        therefore re-indexes exactly — the contract of the watch-mode cache
+        remapper, where a departed process is crashed (hence absent) in every
+        remapped residual structure.
+        """
+        size = max(len(self._processes), len(other))
+        perm = [-1] * size
+        taken = set()
+        for i, process in enumerate(self._processes):
+            if process in other:
+                j = other.position(process)
+                perm[i] = j
+                taken.add(j)
+        spare = (j for j in range(size) if j not in taken)
+        for i in range(size):
+            if perm[i] < 0:
+                perm[i] = next(spare)
+        return MaskPermutation(perm)
 
     def channels_of(self, succ_clear: Mapping[int, int]) -> FrozenSet[Channel]:
         """Decode per-source destination rows back into a channel set."""
@@ -319,8 +475,12 @@ class BitsetDiGraph:
 
 __all__ = [
     "BitsetDiGraph",
+    "MaskPermutation",
     "ProcessIndex",
+    "canonical_orbit_mask",
     "component_containing",
     "iter_bits",
+    "orbit_of_mask",
+    "permute_mask",
     "popcount",
 ]

@@ -107,7 +107,7 @@ def _availability_under(
 ) -> Tuple[bool, bool, bool]:
     """(GQS availability, QS+ availability, classical availability) for one pattern."""
     fail_prone = FailProneSystem(
-        quorum_system.processes, [pattern], graph=quorum_system.fail_prone.graph
+        quorum_system.processes, [pattern], graph=quorum_system.fail_prone.graph_view
     )
     correct = pattern.correct_processes(quorum_system.processes)
     residual = fail_prone.residual_graph(pattern)

@@ -1,0 +1,442 @@
+"""Incremental recertification of GQS existence under membership churn.
+
+A deployed system's failure assumptions drift: replicas join and leave,
+operators mark processes or channels as suspect after incidents and trust them
+again after repair.  Re-running the full decision procedure from scratch after
+every such *membership delta* wastes exactly the work the
+:class:`~repro.failures.FailProneSystem` caches hold — most patterns' residual
+graphs and candidate structures are untouched by a single delta.
+
+This module applies a stream of deltas to a fail-prone system, carrying the
+memoized per-pattern structures across each step via
+:meth:`~repro.failures.FailProneSystem.adopt_pattern_caches` (re-indexing the
+bitmask views through a :class:`~repro.graph.MaskPermutation` when the process
+set changes), recertifies after each delta with :func:`discover_gqs`, and
+reports per-delta verdicts with reuse accounting.
+
+Delta semantics (one JSON object per line in the watch-mode stream):
+
+``{"op": "join", "process": p}``
+    ``p`` enters the system *quarantined*: it is added to every pattern's
+    crash-prone set (and connected to every existing process in the network
+    graph).  Quorums may not rely on it until an explicit ``trust``.  Every
+    pattern's residual structure is unchanged modulo re-indexing, so
+    recertification reuses all of it.
+``{"op": "leave", "process": p}``
+    ``p`` is removed from the system.  Patterns that listed ``p`` as
+    crash-prone keep their residual structures (``p`` was already absent);
+    patterns in which ``p`` was correct are recomputed.
+``{"op": "suspect", "process": p}`` / ``{"op": "trust", "process": p}``
+    ``p`` is added to (removed from) every pattern's crash-prone set.
+    Patterns already matching the new status are value-identical and reuse
+    their structures.
+``{"op": "suspect-channel", "src": s, "dst": d}`` / ``{"op": "trust-channel", ...}``
+    The channel ``(s, d)`` is added to (removed from) the disconnect-prone
+    set of every pattern in which both endpoints are correct.  Unaffected
+    patterns reuse their structures.
+
+All processing is deterministic: pattern order is preserved, processes are
+handled in sorted order and no output depends on ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import InvalidSymmetryError, ReproError
+from ..failures import FailProneSystem, FailurePattern
+from ..graph import MaskPermutation
+from ..types import ProcessId
+from .discovery import (
+    CANDIDATE_CACHE_NAMESPACE,
+    CandidateQuorumPair,
+    DiscoveryResult,
+    _MaskedCandidate,
+    discover_gqs,
+)
+
+#: The membership-delta operations understood by :func:`apply_delta`.
+DELTA_OPS = ("join", "leave", "suspect", "trust", "suspect-channel", "trust-channel")
+
+
+@dataclass(frozen=True)
+class MembershipDelta:
+    """One membership delta: a process join/leave/suspect/trust or a channel op."""
+
+    op: str
+    process: Optional[ProcessId] = None
+    src: Optional[ProcessId] = None
+    dst: Optional[ProcessId] = None
+
+    def describe(self) -> str:
+        """Compact human-readable form, e.g. ``join(p9)`` or ``suspect-channel(a->b)``."""
+        if self.op in ("suspect-channel", "trust-channel"):
+            return "{}({}->{})".format(self.op, self.src, self.dst)
+        return "{}({})".format(self.op, self.process)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": self.op}
+        if self.process is not None:
+            payload["process"] = self.process
+        if self.src is not None:
+            payload["src"] = self.src
+            payload["dst"] = self.dst
+        return payload
+
+
+def parse_delta(obj: Mapping[str, Any]) -> MembershipDelta:
+    """Validate one JSON delta object into a :class:`MembershipDelta`."""
+    op = obj.get("op")
+    if op not in DELTA_OPS:
+        raise ReproError(
+            "unknown delta op {!r}; expected one of {}".format(op, list(DELTA_OPS))
+        )
+    if op in ("suspect-channel", "trust-channel"):
+        src, dst = obj.get("src"), obj.get("dst")
+        if src is None or dst is None:
+            raise ReproError("delta op {!r} needs 'src' and 'dst'".format(op))
+        if src == dst:
+            raise ReproError("delta op {!r} got a self-loop channel {!r}".format(op, src))
+        return MembershipDelta(op=op, src=src, dst=dst)
+    process = obj.get("process")
+    if process is None:
+        raise ReproError("delta op {!r} needs 'process'".format(op))
+    return MembershipDelta(op=op, process=process)
+
+
+def load_deltas(path: str) -> List[MembershipDelta]:
+    """Load a JSONL membership-delta stream (blank lines and ``#`` comments skipped)."""
+    deltas = []
+    with open(path, "r") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                obj = json.loads(text)
+            except ValueError as error:
+                raise ReproError("{}:{}: invalid JSON: {}".format(path, lineno, error))
+            if not isinstance(obj, dict):
+                raise ReproError("{}:{}: delta must be a JSON object".format(path, lineno))
+            deltas.append(parse_delta(obj))
+    return deltas
+
+
+def _require_known(system: FailProneSystem, process: ProcessId, op: str) -> None:
+    if process not in system.processes:
+        raise ReproError(
+            "delta {}({}) references a process not in the system".format(op, process)
+        )
+
+
+def _carry_symmetry(old: FailProneSystem):
+    """The old system's symmetry, to be revalidated against the new patterns."""
+    return old.symmetry
+
+
+def _build(
+    old: FailProneSystem,
+    processes: Iterable[ProcessId],
+    patterns: Sequence[FailurePattern],
+    graph,
+) -> FailProneSystem:
+    """Construct the post-delta system, keeping the declared symmetry if it still holds."""
+    symmetry = _carry_symmetry(old)
+    if symmetry is not None:
+        try:
+            return FailProneSystem(
+                processes, patterns, graph=graph, name=old.name, symmetry=symmetry
+            )
+        except InvalidSymmetryError:
+            pass
+    return FailProneSystem(processes, patterns, graph=graph, name=old.name)
+
+
+def apply_delta(
+    system: FailProneSystem, delta: MembershipDelta
+) -> Tuple[FailProneSystem, Dict[FailurePattern, FailurePattern], Optional[MaskPermutation]]:
+    """Apply one membership delta, returning the new system plus reuse metadata.
+
+    The returned ``pattern_map`` sends each new pattern whose residual
+    structure is *identical* to an old pattern's (modulo re-indexing) to that
+    old pattern; the returned permutation re-indexes old bit positions onto
+    the new system's :class:`~repro.graph.ProcessIndex` (``None`` when the
+    process set is unchanged).  Patterns outside the map must be recomputed.
+    """
+    patterns = list(system.patterns)
+    pattern_map: Dict[FailurePattern, FailurePattern] = {}
+    op = delta.op
+
+    if op == "join":
+        p = delta.process
+        if p in system.processes:
+            raise ReproError("delta join({}) duplicates an existing process".format(p))
+        graph = system.graph  # mutable copy
+        graph.add_vertex(p)
+        for q in sorted(system.processes, key=repr):
+            graph.add_edge(p, q)
+            graph.add_edge(q, p)
+        new_patterns = []
+        for f in patterns:
+            image = FailurePattern(
+                set(f.crash_prone) | {p}, f.disconnect_prone, name=f.name
+            )
+            new_patterns.append(image)
+            pattern_map[image] = f
+        new_system = _build(system, set(system.processes) | {p}, new_patterns, graph)
+
+    elif op == "leave":
+        p = delta.process
+        _require_known(system, p, op)
+        if len(system.processes) == 1:
+            raise ReproError("delta leave({}) would empty the system".format(p))
+        graph = system.graph
+        graph.remove_vertex(p)
+        new_patterns = []
+        for f in patterns:
+            if p in f.crash_prone:
+                image = FailurePattern(
+                    set(f.crash_prone) - {p}, f.disconnect_prone, name=f.name
+                )
+                pattern_map[image] = f
+            else:
+                image = FailurePattern(
+                    f.crash_prone,
+                    [ch for ch in f.disconnect_prone if p not in ch],
+                    name=f.name,
+                )
+            new_patterns.append(image)
+        new_system = _build(system, set(system.processes) - {p}, new_patterns, graph)
+
+    elif op == "suspect":
+        p = delta.process
+        _require_known(system, p, op)
+        new_patterns = []
+        for f in patterns:
+            if p in f.crash_prone:
+                new_patterns.append(f)
+                pattern_map[f] = f
+            else:
+                new_patterns.append(
+                    FailurePattern(
+                        set(f.crash_prone) | {p},
+                        [ch for ch in f.disconnect_prone if p not in ch],
+                        name=f.name,
+                    )
+                )
+        new_system = _build(system, system.processes, new_patterns, system.graph_view)
+
+    elif op == "trust":
+        p = delta.process
+        _require_known(system, p, op)
+        new_patterns = []
+        for f in patterns:
+            if p in f.crash_prone:
+                new_patterns.append(
+                    FailurePattern(set(f.crash_prone) - {p}, f.disconnect_prone, name=f.name)
+                )
+            else:
+                new_patterns.append(f)
+                pattern_map[f] = f
+        new_system = _build(system, system.processes, new_patterns, system.graph_view)
+
+    else:  # suspect-channel / trust-channel
+        src, dst = delta.src, delta.dst
+        _require_known(system, src, op)
+        _require_known(system, dst, op)
+        channel = (src, dst)
+        new_patterns = []
+        for f in patterns:
+            crashed_endpoint = src in f.crash_prone or dst in f.crash_prone
+            present = channel in f.disconnect_prone
+            if op == "suspect-channel" and not crashed_endpoint and not present:
+                new_patterns.append(
+                    FailurePattern(
+                        f.crash_prone,
+                        list(f.disconnect_prone) + [channel],
+                        name=f.name,
+                    )
+                )
+            elif op == "trust-channel" and present:
+                new_patterns.append(
+                    FailurePattern(
+                        f.crash_prone,
+                        [ch for ch in f.disconnect_prone if ch != channel],
+                        name=f.name,
+                    )
+                )
+            else:
+                new_patterns.append(f)
+                pattern_map[f] = f
+        new_system = _build(system, system.processes, new_patterns, system.graph_view)
+
+    permutation = None
+    if new_system.processes != system.processes:
+        permutation = system.process_index.permutation_to(new_system.process_index)
+    return new_system, pattern_map, permutation
+
+
+def _adopt_candidates(
+    new_system: FailProneSystem,
+    old_system: FailProneSystem,
+    pattern_map: Dict[FailurePattern, FailurePattern],
+    permutation: Optional[MaskPermutation],
+) -> int:
+    """Carry memoized ``gqs-candidates`` entries across a delta.
+
+    Value-identical patterns share the entry object; re-indexed patterns get
+    their masks rebuilt through ``permutation`` and their pairs re-keyed to
+    the new pattern.  The quorum *sets* never change — a structure-preserving
+    delta only moves processes that are absent from the residual — so the
+    candidate sort order is preserved and no re-sort is needed.  Returns the
+    number of patterns whose candidate structures were adopted.
+    """
+    old_cache = old_system.analysis_cache(CANDIDATE_CACHE_NAMESPACE)
+    new_cache = new_system.analysis_cache(CANDIDATE_CACHE_NAMESPACE)
+    identity = permutation is None or permutation.is_identity()
+    adopted = 0
+    for new_pattern, old_pattern in pattern_map.items():
+        if new_pattern in new_cache:
+            continue
+        entries = old_cache.get(old_pattern)
+        if entries is None:
+            continue
+        if identity and new_pattern == old_pattern:
+            new_cache[new_pattern] = entries
+        else:
+            new_cache[new_pattern] = tuple(
+                _MaskedCandidate(
+                    CandidateQuorumPair(
+                        pattern=new_pattern,
+                        write_quorum=entry.pair.write_quorum,
+                        read_quorum=entry.pair.read_quorum,
+                    ),
+                    permutation.apply(entry.read_mask) if not identity else entry.read_mask,
+                    permutation.apply(entry.write_mask) if not identity else entry.write_mask,
+                )
+                for entry in entries
+            )
+        adopted += 1
+    return adopted
+
+
+@dataclass
+class DeltaVerdict:
+    """Recertification outcome for one membership delta."""
+
+    index: int
+    delta: MembershipDelta
+    system: FailProneSystem
+    result: DiscoveryResult
+    #: Distinct pattern values in the post-delta system (patterns compare by
+    #: value, so duplicated patterns share one candidate structure).
+    patterns_total: int = 0
+    #: Distinct patterns whose residual structure survived the delta (the reuse map).
+    patterns_reused: int = 0
+    #: Distinct patterns whose memoized candidate structures were adopted instead
+    #: of recomputed (the watch-mode analogue of ``RepairReport.candidates_reused``).
+    candidates_reused: int = 0
+    #: Residual graph / bitset cache entries adopted across the delta.
+    caches_adopted: int = 0
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of distinct patterns whose candidate structures were reused."""
+        return self.candidates_reused / self.patterns_total if self.patterns_total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "delta": self.delta.to_dict(),
+            "exists": self.result.exists,
+            "algorithm": self.result.algorithm,
+            "nodes_explored": self.result.nodes_explored,
+            "num_processes": len(self.system.processes),
+            "num_patterns": len(self.system.patterns),
+            "patterns_total": self.patterns_total,
+            "patterns_reused": self.patterns_reused,
+            "candidates_reused": self.candidates_reused,
+            "reuse_fraction": round(self.reuse_fraction, 6),
+        }
+
+
+@dataclass
+class WatchOutcome:
+    """Outcome of replaying a membership-delta stream against a system."""
+
+    initial: FailProneSystem
+    final: FailProneSystem
+    algorithm: str
+    #: Certification of the system as given, before any delta was applied.
+    initial_result: Optional[DiscoveryResult] = None
+    verdicts: List[DeltaVerdict] = field(default_factory=list)
+
+    @property
+    def all_exist(self) -> bool:
+        """Whether every recertification (including the initial one) succeeded."""
+        if self.initial_result is not None and not self.initial_result.exists:
+            return False
+        return all(v.result.exists for v in self.verdicts)
+
+
+def recertify_delta(
+    system: FailProneSystem,
+    delta: MembershipDelta,
+    index: int = 0,
+    algorithm: str = "pruned",
+) -> DeltaVerdict:
+    """Apply one delta and recertify, reusing every structure the delta preserved."""
+    new_system, pattern_map, permutation = apply_delta(system, delta)
+    caches = new_system.adopt_pattern_caches(system, pattern_map, permutation)
+    candidates = _adopt_candidates(new_system, system, pattern_map, permutation)
+    result = discover_gqs(new_system, validate=False, algorithm=algorithm)
+    return DeltaVerdict(
+        index=index,
+        delta=delta,
+        system=new_system,
+        result=result,
+        patterns_total=len(set(new_system.patterns)),
+        patterns_reused=len(pattern_map),
+        candidates_reused=candidates,
+        caches_adopted=caches,
+    )
+
+
+def watch_deltas(
+    system: FailProneSystem,
+    deltas: Iterable[MembershipDelta],
+    algorithm: str = "pruned",
+) -> WatchOutcome:
+    """Replay ``deltas`` against ``system``, recertifying after each one.
+
+    The initial system is certified first (populating the caches every later
+    step reuses); each delta then produces a :class:`DeltaVerdict`.  The
+    output is deterministic across hash seeds and identical however the
+    caches were pre-warmed.
+    """
+    initial_result = discover_gqs(system, validate=False, algorithm=algorithm)
+    outcome = WatchOutcome(
+        initial=system, final=system, algorithm=algorithm, initial_result=initial_result
+    )
+    current = system
+    for index, delta in enumerate(deltas):
+        verdict = recertify_delta(current, delta, index=index, algorithm=algorithm)
+        outcome.verdicts.append(verdict)
+        current = verdict.system
+    outcome.final = current
+    return outcome
+
+
+__all__ = [
+    "DELTA_OPS",
+    "DeltaVerdict",
+    "MembershipDelta",
+    "WatchOutcome",
+    "apply_delta",
+    "load_deltas",
+    "parse_delta",
+    "recertify_delta",
+    "watch_deltas",
+]

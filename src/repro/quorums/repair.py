@@ -74,7 +74,7 @@ def harden_channels(
         remaining = [ch for ch in pattern.disconnect_prone if ch not in hardened]
         patterns.append(FailurePattern(pattern.crash_prone, remaining, name=pattern.name))
     system = FailProneSystem(
-        fail_prone.processes, patterns, graph=fail_prone.graph, name=fail_prone.name
+        fail_prone.processes, patterns, graph=fail_prone.graph_view, name=fail_prone.name
     )
     system.warm_caches_from(fail_prone)
     return system

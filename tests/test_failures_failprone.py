@@ -114,3 +114,108 @@ def test_graph_copy_is_defensive():
     graph = system.graph
     graph.remove_vertex("a")
     assert "a" in system.graph.vertices
+
+
+def test_graph_view_is_shared_and_matches_the_copy():
+    system = FailProneSystem(["a", "b"], [FailurePattern()])
+    assert system.graph_view is system.graph_view
+    assert system.graph_view == system.graph
+    assert system.graph is not system.graph_view
+
+
+# ---------------------------------------------------------------------- #
+# warm_caches_from: the repair-path cache hand-off
+# ---------------------------------------------------------------------- #
+def _warmable_pair(shared, only_old, only_new):
+    """Two systems over the same processes/graph with the given pattern split."""
+    processes = ["a", "b", "c", "d"]
+    old = FailProneSystem(processes, shared + only_old, name="old")
+    new = FailProneSystem(processes, shared + only_new, name="new")
+    return old, new
+
+
+def test_warm_caches_from_rejects_mismatched_process_sets():
+    old = FailProneSystem(["a", "b", "c"], [FailurePattern(["a"])])
+    new = FailProneSystem(["a", "b"], [FailurePattern(["a"])])
+    old.residual_graph(old.patterns[0])
+    old.residual_bitset(old.patterns[0])
+    assert new.warm_caches_from(old) == 0
+    assert new._residual_cache == {}
+    assert new._residual_bitset_cache == {}
+
+
+def test_warm_caches_from_rejects_mismatched_graphs():
+    graph = DiGraph()
+    for p in ("a", "b"):
+        graph.add_vertex(p)
+    graph.add_edge("a", "b")  # one-way only: differs from the complete default
+    old = FailProneSystem(["a", "b"], [FailurePattern()])
+    new = FailProneSystem(["a", "b"], [FailurePattern()], graph=graph)
+    old.residual_graph(old.patterns[0])
+    assert new.warm_caches_from(old) == 0
+    assert new._residual_cache == {}
+
+
+def test_warm_caches_from_adopts_exactly_the_shared_patterns():
+    shared = [FailurePattern(["a"], name="fa"), FailurePattern(["b"], name="fb")]
+    old, new = _warmable_pair(
+        shared,
+        only_old=[FailurePattern(["c"], name="old-only")],
+        only_new=[FailurePattern(["d"], name="new-only")],
+    )
+    for pattern in old.patterns:
+        old.residual_graph(pattern)
+        old.residual_bitset(pattern)
+    # 2 shared patterns x (residual graph + residual bitset) = 4 entries;
+    # 'old-only' is not a pattern of `new` and must not leak across.
+    assert new.warm_caches_from(old) == 4
+    assert set(new._residual_cache) == set(shared)
+    assert set(new._residual_bitset_cache) == set(shared)
+
+
+def test_warm_caches_from_adopts_identical_objects():
+    shared = [FailurePattern(["a"], name="fa")]
+    old, new = _warmable_pair(shared, only_old=[], only_new=[])
+    old.residual_graph(shared[0])
+    old.residual_bitset(shared[0])
+    old.analysis_cache("demo")[shared[0]] = ("payload",)
+    adopted = new.warm_caches_from(old)
+    assert adopted == 3  # residual graph + bitset + one analysis-cache entry
+    assert new.residual_graph(shared[0]) is old.residual_graph(shared[0])
+    assert new.residual_bitset(shared[0]) is old.residual_bitset(shared[0])
+    assert new.analysis_cache("demo")[shared[0]] is old.analysis_cache("demo")[shared[0]]
+
+
+def test_warm_caches_from_never_overwrites_existing_entries():
+    shared = [FailurePattern(["a"], name="fa")]
+    old, new = _warmable_pair(shared, only_old=[], only_new=[])
+    old.residual_graph(shared[0])
+    old.residual_bitset(shared[0])
+    mine = new.residual_graph(shared[0])  # computed before warming
+    assert new.warm_caches_from(old) == 1  # only the bitset view is missing
+    assert new.residual_graph(shared[0]) is mine
+    assert new.residual_bitset(shared[0]) is old.residual_bitset(shared[0])
+
+
+def test_warm_caches_from_adopts_nothing_from_a_cold_system():
+    shared = [FailurePattern(["a"], name="fa")]
+    old, new = _warmable_pair(shared, only_old=[], only_new=[])
+    assert new.warm_caches_from(old) == 0
+
+
+def test_warmed_caches_answer_like_cold_ones():
+    shared = [
+        FailurePattern(["a"], [("c", "d")], name="fa"),
+        FailurePattern(["b"], name="fb"),
+    ]
+    old, new = _warmable_pair(shared, only_old=[], only_new=[])
+    for pattern in old.patterns:
+        old.residual_graph(pattern)
+        old.residual_bitset(pattern)
+    new.warm_caches_from(old)
+    cold = FailProneSystem(["a", "b", "c", "d"], shared)
+    for pattern in shared:
+        assert new.residual_graph(pattern) == cold.residual_graph(pattern)
+        warm_bits = new.residual_bitset(pattern)
+        cold_bits = cold.residual_bitset(pattern)
+        assert warm_bits.vertex_mask == cold_bits.vertex_mask

@@ -1,0 +1,270 @@
+"""Declared symmetry groups: validation, orbits, transports and the builders.
+
+A :class:`~repro.failures.SymmetryGroup` is a *checked contract*: attaching it
+to a :class:`~repro.failures.FailProneSystem` validates that every generator
+is an automorphism of the network graph and of the pattern family.  These
+tests pin the validation (accept and reject cases), the orbit machinery the
+quotiented discovery path builds on, and the natural symmetries the
+production-size builders of :mod:`repro.failures.generators` declare.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidSymmetryError
+from repro.failures import (
+    FailProneSystem,
+    FailurePattern,
+    SymmetryGroup,
+    block_permutation,
+    geo_replicated_system,
+    large_threshold_system,
+    multi_region_system,
+    ring_unidirectional_system,
+)
+from repro.graph import DiGraph, ProcessIndex
+
+
+def _ring_system(n: int) -> FailProneSystem:
+    """A crash-threshold family on n processes, invariant under rotation."""
+    processes = ["p{}".format(i) for i in range(n)]
+    patterns = [FailurePattern([p], name="crash-{}".format(p)) for p in processes]
+    rotation = {processes[i]: processes[(i + 1) % n] for i in range(n)}
+    return FailProneSystem(
+        processes, patterns, symmetry=SymmetryGroup([rotation], name="rot")
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Construction and validation
+# ---------------------------------------------------------------------- #
+def test_identity_generators_are_dropped():
+    group = SymmetryGroup([{"a": "a", "b": "b"}, {}])
+    assert group.is_trivial()
+    assert len(group) == 0
+
+
+def test_non_injective_generator_rejected():
+    with pytest.raises(InvalidSymmetryError):
+        SymmetryGroup([{"a": "c", "b": "c"}])
+
+
+def test_valid_rotation_is_accepted_and_exposed():
+    system = _ring_system(5)
+    assert system.symmetry is not None
+    assert len(system.symmetry) == 1
+
+
+def test_generator_moving_unknown_process_rejected():
+    with pytest.raises(InvalidSymmetryError):
+        FailProneSystem(
+            ["a", "b"],
+            [FailurePattern()],
+            symmetry=SymmetryGroup([{"a": "z", "z": "a"}]),
+        )
+
+
+def test_generator_that_is_not_a_bijection_rejected():
+    # a -> b while b stays fixed: two processes collide on b.
+    with pytest.raises(InvalidSymmetryError):
+        FailProneSystem(
+            ["a", "b"],
+            [FailurePattern()],
+            symmetry=SymmetryGroup([{"a": "b"}]),
+        )
+
+
+def test_generator_mapping_pattern_outside_family_rejected():
+    # Swapping a and b maps crash({a}) to crash({b}), which is not declared.
+    with pytest.raises(InvalidSymmetryError):
+        FailProneSystem(
+            ["a", "b"],
+            [FailurePattern(["a"])],
+            symmetry=SymmetryGroup([{"a": "b", "b": "a"}]),
+        )
+
+
+def test_generator_breaking_a_network_channel_rejected():
+    # One-directional chain a -> b -> c: reversing the chain is no automorphism.
+    graph = DiGraph()
+    for p in ("a", "b", "c"):
+        graph.add_vertex(p)
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    with pytest.raises(InvalidSymmetryError):
+        FailProneSystem(
+            ["a", "b", "c"],
+            [FailurePattern()],
+            graph=graph,
+            symmetry=SymmetryGroup([{"a": "c", "c": "a"}]),
+        )
+
+
+def test_complete_graph_accepts_any_pattern_preserving_bijection():
+    # The same swap is fine once both patterns are declared (default graph is
+    # complete, so the per-edge check never fires).
+    system = FailProneSystem(
+        ["a", "b"],
+        [FailurePattern(["a"]), FailurePattern(["b"])],
+        symmetry=SymmetryGroup([{"a": "b", "b": "a"}]),
+    )
+    assert system.symmetry is not None
+
+
+# ---------------------------------------------------------------------- #
+# Orbits and transports
+# ---------------------------------------------------------------------- #
+def test_process_orbits_of_the_rotation_are_one_cycle():
+    system = _ring_system(6)
+    orbits = system.symmetry.process_orbits(system.processes)
+    assert orbits == [["p{}".format(i) for i in range(6)]]
+
+
+def test_pattern_orbits_collapse_the_rotated_family():
+    system = _ring_system(6)
+    orbits = system.symmetry.pattern_orbits(system.patterns)
+    assert len(orbits) == 1
+    assert len(orbits[0]) == 6
+
+
+def test_pattern_orbits_keep_asymmetric_patterns_separate():
+    processes = ["a", "b", "c"]
+    f_ab = FailurePattern(["a"])
+    f_ba = FailurePattern(["b"])
+    f_c = FailurePattern(["c"])
+    group = SymmetryGroup([{"a": "b", "b": "a"}])
+    orbits = group.pattern_orbits([f_ab, f_ba, f_c])
+    assert orbits == [[f_ab, f_ba], [f_c]]
+    assert group.process_orbits(processes) == [["a", "b"], ["c"]]
+
+
+def test_orbit_transports_carry_representative_masks_onto_members():
+    system = _ring_system(7)
+    index = system.process_index
+    transports = system.symmetry.orbit_transports(system.patterns, index)
+    assert len(transports) == 7
+    representatives = {rep for rep, _ in transports.values()}
+    assert representatives == {system.patterns[0]}
+    for pattern, (rep, transport) in transports.items():
+        rep_mask = index.mask_of(rep.crash_prone)
+        assert transport.apply(rep_mask) == index.mask_of(pattern.crash_prone)
+
+
+def test_orbit_transports_are_identity_on_representatives():
+    system = _ring_system(4)
+    transports = system.symmetry.orbit_transports(
+        system.patterns, system.process_index
+    )
+    rep, transport = transports[system.patterns[0]]
+    assert rep == system.patterns[0]
+    assert transport.is_identity()
+
+
+def test_elements_enumerates_the_cyclic_group():
+    system = _ring_system(5)
+    elements = system.symmetry.elements(system.process_index)
+    assert len(elements) == 5  # the rotation generates Z/5, identity included
+    assert sum(1 for e in elements if e.is_identity()) == 1
+
+
+def test_elements_refuses_to_enumerate_past_the_limit():
+    system = _ring_system(6)
+    with pytest.raises(InvalidSymmetryError):
+        system.symmetry.elements(system.process_index, limit=3)
+
+
+# ---------------------------------------------------------------------- #
+# Construction helpers
+# ---------------------------------------------------------------------- #
+def test_block_permutation_maps_blocks_positionwise():
+    mapping = block_permutation([["a", "b"], ["c", "d"]], [["c", "d"], ["a", "b"]])
+    assert mapping == {"a": "c", "b": "d", "c": "a", "d": "b"}
+
+
+def test_block_permutation_rejects_unequal_blocks():
+    with pytest.raises(InvalidSymmetryError):
+        block_permutation([["a", "b"]], [["c"]])
+
+
+def test_from_cycles_builds_one_generator_per_cycle():
+    group = SymmetryGroup.from_cycles([("a", "b", "c"), ("x", "y")])
+    assert len(group) == 2
+    assert group.generators[0] == {"a": "b", "b": "c", "c": "a"}
+    assert group.generators[1] == {"x": "y", "y": "x"}
+
+
+def test_bit_permutations_match_the_process_mapping():
+    group = SymmetryGroup.from_cycles([("a", "b", "c")])
+    index = ProcessIndex(["a", "b", "c"])
+    (perm,) = group.bit_permutations(index)
+    # a (bit 0) -> b (bit 1), etc.
+    assert perm.apply(1 << index.position("a")) == 1 << index.position("b")
+    assert perm.apply(1 << index.position("c")) == 1 << index.position("a")
+
+
+# ---------------------------------------------------------------------- #
+# The builders declare their natural symmetries
+# ---------------------------------------------------------------------- #
+def test_ring_builder_declares_the_rotation():
+    system = ring_unidirectional_system(6)
+    assert system.symmetry is not None
+    assert system.symmetry.pattern_orbits(system.patterns) != [
+        [f] for f in system.patterns
+    ]
+
+
+def test_geo_builder_declares_site_and_replica_symmetry():
+    system = geo_replicated_system(sites=3, replicas_per_site=2)
+    assert system.symmetry is not None
+    assert len(system.symmetry) >= 2
+
+
+def test_geo_builder_with_explicit_partitions_stays_asymmetric():
+    # A hand-picked partitioned pair breaks the site symmetry, so no group may
+    # be declared for it.
+    system = geo_replicated_system(
+        sites=3, replicas_per_site=2, partitioned_pairs=[(0, 1)]
+    )
+    assert system.symmetry is None
+
+
+def test_multi_region_builder_declares_region_and_replica_symmetry():
+    system = multi_region_system(regions=4, replicas_per_region=3)
+    assert system.symmetry is not None
+    orbits = system.symmetry.pattern_orbits(system.patterns)
+    # All wan epochs collapse into one orbit; the blackout stays alone.
+    assert sorted(len(orbit) for orbit in orbits) == [1, 3]
+
+
+def test_large_threshold_builder_declares_window_rotation():
+    system = large_threshold_system(n=12, max_crashes=3)
+    assert system.symmetry is not None
+    assert len(system.symmetry.pattern_orbits(system.patterns)) == 1
+
+
+def test_zoned_threshold_symmetry_requires_equal_blocks():
+    # n=26, zones=3: anchor of 4, two non-anchor blocks of 11 — symmetric.
+    symmetric = large_threshold_system(n=26, max_crashes=2, zones=3, catastrophic=True)
+    assert symmetric.symmetry is not None
+    # n=60, zones=4: divmod splits 50 crashable into 17/17/16 — no rotation.
+    lopsided = large_threshold_system(n=60, max_crashes=3, zones=4, catastrophic=True)
+    assert lopsided.symmetry is None
+
+
+def test_declared_builder_symmetries_are_revalidated_by_construction():
+    """Every symmetric builder output passes a from-scratch validation."""
+    for system in (
+        ring_unidirectional_system(5),
+        geo_replicated_system(sites=4, replicas_per_site=2),
+        multi_region_system(regions=5, replicas_per_region=3),
+        large_threshold_system(n=10, max_crashes=2),
+    ):
+        assert system.symmetry is not None
+        rebuilt = FailProneSystem(
+            system.processes,
+            system.patterns,
+            graph=system.graph,
+            symmetry=system.symmetry,
+        )
+        assert rebuilt.symmetry is system.symmetry

@@ -268,3 +268,94 @@ def test_word_boundary_matches_set_based(n):
         assert index.set_of(view.can_reach_mask(mask)) == can_reach(graph, [v])
     fast = {index.set_of(mask) for mask in view.scc_masks()}
     assert fast == set(strongly_connected_components(graph))
+
+
+# ---------------------------------------------------------------------- #
+# Mask permutations (the quotient-discovery / cache-remap primitive)
+# ---------------------------------------------------------------------- #
+def test_mask_permutation_matches_the_per_bit_reference():
+    from repro.graph import MaskPermutation, permute_mask
+
+    rng = random.Random(99)
+    for n in (1, 7, 8, 9, 16, 40, 200):
+        perm = list(range(n))
+        rng.shuffle(perm)
+        fast = MaskPermutation(perm)
+        for _ in range(25):
+            mask = rng.getrandbits(n)
+            assert fast.apply(mask) == permute_mask(mask, perm)
+
+
+def test_mask_permutation_rejects_non_permutations():
+    from repro.graph import MaskPermutation
+
+    with pytest.raises(ValueError):
+        MaskPermutation([0, 0, 1])
+    with pytest.raises(ValueError):
+        MaskPermutation([1, 2, 3])
+
+
+def test_mask_permutation_rejects_masks_outside_the_domain():
+    from repro.graph import MaskPermutation
+
+    perm = MaskPermutation([1, 0, 2])
+    with pytest.raises(ValueError):
+        perm.apply(1 << 3)
+
+
+def test_mask_permutation_inverse_and_compose():
+    from repro.graph import MaskPermutation
+
+    rng = random.Random(7)
+    n = 24
+    a = list(range(n))
+    b = list(range(n))
+    rng.shuffle(a)
+    rng.shuffle(b)
+    pa, pb = MaskPermutation(a), MaskPermutation(b)
+    composed = pa.compose(pb)  # apply pb first, then pa
+    for _ in range(40):
+        mask = rng.getrandbits(n)
+        assert composed.apply(mask) == pa.apply(pb.apply(mask))
+        assert pa.inverse().apply(pa.apply(mask)) == mask
+    assert pa.compose(pa.inverse()).is_identity()
+    assert MaskPermutation(list(range(5))).is_identity()
+    assert not pa.is_identity() or a == list(range(n))
+
+
+def test_orbit_and_canonical_mask():
+    from repro.graph import MaskPermutation, canonical_orbit_mask, orbit_of_mask
+
+    # The 4-cycle rotation acting on single bits: the orbit is all four bits,
+    # the canonical representative the smallest integer (bit 0).
+    rotation = MaskPermutation([1, 2, 3, 0])
+    orbit = orbit_of_mask(0b0010, [rotation])
+    assert orbit == frozenset({0b0001, 0b0010, 0b0100, 0b1000})
+    assert canonical_orbit_mask(0b1000, [rotation]) == 0b0001
+    # No permutations: the mask is its own canonical form.
+    assert canonical_orbit_mask(0b1010, []) == 0b1010
+
+
+def test_permutation_to_reindexes_shared_processes_exactly():
+    old = ProcessIndex(["a", "b", "c", "d"])
+    new = ProcessIndex(["a", "c", "d", "e"])  # b left, e joined
+    perm = old.permutation_to(new)
+    for process in ("a", "c", "d"):
+        assert perm.apply(1 << old.position(process)) == 1 << new.position(process)
+    # A mask over shared processes only re-indexes exactly.
+    mask = old.mask_of(["a", "d"])
+    assert perm.apply(mask) == new.mask_of(["a", "d"])
+
+
+def test_permutation_to_stays_a_bijection_with_disjoint_leftovers():
+    old = ProcessIndex(["a", "b", "c"])
+    new = ProcessIndex(["b", "x", "y", "z"])
+    perm = old.permutation_to(new)
+    n = max(len(old), len(new))
+    assert sorted(perm.perm) == list(range(n))
+    assert perm.apply(1 << old.position("b")) == 1 << new.position("b")
+
+
+def test_permutation_to_identity_on_equal_indices():
+    index = ProcessIndex(["a", "b", "c"])
+    assert index.permutation_to(ProcessIndex(["c", "b", "a"])).is_identity()
